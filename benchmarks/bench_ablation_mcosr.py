@@ -1,0 +1,143 @@
+"""Ablation — OSRKit's continuation design vs the McOSR-style baseline
+(DESIGN.md Section 5, item 1; paper Section 3 "Comparison with McOSR").
+
+Same program, same OSR point, two designs:
+
+* **OSRKit**: live values travel as call arguments to a dedicated
+  continuation function;
+* **McOSR**: live values are spilled to a pool of globals, the function
+  re-enters itself through a flag-checking entrypoint and reloads them.
+
+The benchmark measures (a) the never-firing overhead each design leaves
+in the function and (b) the cost of an actual transition, plus the code
+the extra entrypoint adds to every future invocation.
+"""
+
+import pytest
+
+from repro.core import (
+    HotCounterCondition,
+    insert_mcosr_point,
+    insert_resolved_osr_point,
+)
+from repro.ir import parse_module
+from repro.vm import ExecutionEngine
+
+from .conftest import report
+
+HOT = """
+define i64 @hot(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %x = mul i64 %i, 3
+  %y = xor i64 %x, %acc
+  %acc2 = add i64 %y, %i
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, %n
+  br i1 %c, label %loop, label %done
+done:
+  ret i64 %acc2
+}
+"""
+
+N = 200_000
+
+
+def _native():
+    module = parse_module(HOT)
+    engine = ExecutionEngine(module)
+    engine.run("hot", N)
+    return engine
+
+
+def _osrkit(threshold):
+    module = parse_module(HOT)
+    engine = ExecutionEngine(module)
+    func = module.get_function("hot")
+    loop = func.get_block("loop")
+    insert_resolved_osr_point(
+        func, loop.instructions[loop.first_non_phi_index],
+        HotCounterCondition(threshold), engine=engine,
+    )
+    engine.run("hot", N)
+    return engine
+
+
+def _mcosr(threshold):
+    module = parse_module(HOT)
+    engine = ExecutionEngine(module)
+    func = module.get_function("hot")
+    loop = func.get_block("loop")
+    insert_mcosr_point(
+        func, loop.instructions[loop.first_non_phi_index],
+        HotCounterCondition(threshold), engine=engine,
+    )
+    engine.run("hot", N)
+    return engine
+
+
+def test_native_reference(benchmark):
+    engine = _native()
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_osrkit_never_firing(benchmark):
+    engine = _osrkit(HotCounterCondition.NEVER)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_mcosr_never_firing(benchmark):
+    engine = _mcosr(HotCounterCondition.NEVER)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_osrkit_firing_transition(benchmark):
+    engine = _osrkit(1000)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_mcosr_firing_transition(benchmark):
+    engine = _mcosr(1000)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_ablation_summary(benchmark):
+    import time
+
+    def measure():
+        results = {}
+        for label, factory in (
+            ("native", lambda: _native()),
+            ("osrkit never", lambda: _osrkit(HotCounterCondition.NEVER)),
+            ("mcosr never", lambda: _mcosr(HotCounterCondition.NEVER)),
+            ("osrkit firing", lambda: _osrkit(1000)),
+            ("mcosr firing", lambda: _mcosr(1000)),
+        ):
+            engine = factory()
+            best = min(_clock(lambda: engine.run("hot", N))
+                       for _ in range(3))
+            results[label] = best
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = results["native"]
+    lines = [f"{label:<16} {value * 1000:8.2f} ms   "
+             f"{value / base:5.2f}x native"
+             for label, value in results.items()]
+    report("Ablation — OSRKit continuation vs McOSR pool-of-globals",
+           "\n".join(lines))
+    # both designs must stay in the same order of magnitude as native;
+    # correctness of the comparison matters more than the exact ratio
+    assert results["osrkit never"] < base * 2.0
+    assert results["mcosr never"] < base * 2.5
+
+
+def _clock(fn):
+    import time
+
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,99 @@
+"""Ablation — stub indirection for open OSR (DESIGN.md Section 5, item 2).
+
+The paper motivates the stub: "The reason for having a stub in the open
+OSR scenario, rather than directly instrumenting f with the code
+generation machinery, is to minimize the extra code injected into f."
+This benchmark compares the two designs on code size and never-firing
+throughput.
+"""
+
+import pytest
+
+from repro.core import (
+    FromParam,
+    HotCounterCondition,
+    StateMapping,
+    generate_continuation,
+    insert_open_osr_point,
+    required_landing_state,
+)
+from repro.ir import parse_module
+from repro.vm import ExecutionEngine
+
+from .conftest import report
+
+HOT = """
+define i64 @hot(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %x = mul i64 %i, 3
+  %acc2 = add i64 %acc, %x
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, %n
+  br i1 %c, label %loop, label %done
+done:
+  ret i64 %acc2
+}
+"""
+
+N = 200_000
+
+
+def _make_generator(module, env):
+    def gen(func, block, _env, val):
+        live = env["live"]
+        mapping = StateMapping()
+        by_name = {v.name: i for i, v in enumerate(live)}
+        for value in required_landing_state(func, block):
+            mapping.set(value, FromParam(by_name[value.name]))
+        return generate_continuation(func, block, live, mapping,
+                                     module=module)
+
+    return gen
+
+
+def _instrumented(use_stub):
+    module = parse_module(HOT)
+    engine = ExecutionEngine(module)
+    func = module.get_function("hot")
+    env = {"live": None}
+    loop = func.get_block("loop")
+    result = insert_open_osr_point(
+        func, loop.instructions[loop.first_non_phi_index],
+        HotCounterCondition(HotCounterCondition.NEVER),
+        _make_generator(module, env), engine, env=env, use_stub=use_stub,
+    )
+    env["live"] = result.live_values
+    engine.run("hot", N)
+    return func, engine
+
+
+def test_open_osr_with_stub(benchmark):
+    func, engine = _instrumented(use_stub=True)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_open_osr_inline_generation(benchmark):
+    func, engine = _instrumented(use_stub=False)
+    benchmark(lambda: engine.run("hot", N))
+
+
+def test_stub_ablation_code_size(benchmark):
+    def measure():
+        with_stub, _ = _instrumented(use_stub=True)
+        inline, _ = _instrumented(use_stub=False)
+        return with_stub.instruction_count, inline.instruction_count
+
+    stub_size, inline_size = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    report(
+        "Ablation — open-OSR stub indirection",
+        f"|IR| of f_from with stub:          {stub_size}\n"
+        f"|IR| of f_from, inline generation: {inline_size}\n"
+        f"extra instructions injected without the stub: "
+        f"{inline_size - stub_size}",
+    )
+    assert inline_size > stub_size

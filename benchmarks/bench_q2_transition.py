@@ -1,0 +1,58 @@
+"""Q2 — Table 2: run-time cost of an OSR transition.
+
+Regenerates the table (fired OSRs, live-value counts, estimated cost per
+transition) and registers direct pytest-benchmark measurements of the
+always-firing vs never-firing configurations for a representative subset.
+"""
+
+import pytest
+
+from repro.core import HotCounterCondition
+from repro.experiments import format_q2, run_q2
+from repro.experiments.q2 import _instrument
+from repro.shootout import SUITE, compile_benchmark
+from repro.vm import ExecutionEngine
+
+from .conftest import report
+
+GRANULAR = ["mbrot", "sp-norm", "b-trees"]
+
+
+def _instrumented_engine(name, threshold):
+    bench = SUITE[name]
+    module = compile_benchmark(bench, "unoptimized")
+    engine = ExecutionEngine(module)
+    _instrument(module, bench, engine, threshold=threshold)
+    engine.run(bench.entry, *bench.args)  # compile everything
+    return bench, engine
+
+
+@pytest.mark.parametrize("name", GRANULAR)
+def test_always_firing(benchmark, name):
+    bench, engine = _instrumented_engine(name, threshold=1)
+    benchmark(lambda: engine.run(bench.entry, *bench.args))
+
+
+@pytest.mark.parametrize("name", GRANULAR)
+def test_never_firing(benchmark, name):
+    bench, engine = _instrumented_engine(
+        name, threshold=HotCounterCondition.NEVER
+    )
+    benchmark(lambda: engine.run(bench.entry, *bench.args))
+
+
+def test_table2_transition_costs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_q2(level="unoptimized", trials=2),
+        rounds=1, iterations=1,
+    )
+    report("Table 2 — cost of an OSR transition to a clone",
+           format_q2(rows))
+    for row in rows:
+        assert row.fired_osrs > 0, f"{row.benchmark}: no transitions fired"
+        assert row.live_values >= 0
+        # shape check: a transition costs far less than a millisecond
+        assert row.per_transition < 1e-3, (
+            f"{row.benchmark}: {row.per_transition * 1e6:.1f} us per "
+            f"transition is implausibly high"
+        )

@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table of the paper's evaluation has a module here:
+
+==========================  =====================================
+paper artifact              module
+==========================  =====================================
+Figure 8  (intrusiveness)   bench_lowering.py
+Figure 10 (Q1 unoptimized)  bench_q1_never_firing.py
+Figure 11 (Q1 optimized)    bench_q1_never_firing.py
+Table 2   (Q2 transitions)  bench_q2_transition.py
+Table 3   (Q3 machinery)    bench_q3_machinery.py
+Table 4   (Q4 feval)        bench_q4_feval.py
+ablations (DESIGN.md §5)    bench_ablation_mcosr.py
+==========================  =====================================
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated tables on stdout).
+"""
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a regenerated paper table, bypassing pytest capture."""
+    import sys
+
+    text = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n"
+    sys.stdout.write(text)
+    try:
+        with open("bench_tables.txt", "a") as fh:
+            fh.write(text)
+    except OSError:
+        pass
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_tables_file():
+    import os
+
+    try:
+        os.remove("bench_tables.txt")
+    except FileNotFoundError:
+        pass
+    yield

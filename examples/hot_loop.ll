@@ -1,0 +1,22 @@
+; A hot loop for experimenting with OSR in the tinyvm shell:
+;
+;   $ python -m repro.tinyvm
+;   tinyvm> load_ir examples/hot_loop.ll
+;   tinyvm> insert_osr 1000 hot_loop loop
+;   tinyvm> hot_loop(100000)
+;   tinyvm> show hot_loop
+
+define i64 @hot_loop(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %sq = mul i64 %i, %i
+  %acc2 = add i64 %acc, %sq
+  %i2 = add i64 %i, 1
+  %more = icmp slt i64 %i2, %n
+  br i1 %more, label %loop, label %done
+done:
+  ret i64 %acc2
+}

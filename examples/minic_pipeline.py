@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compile mini-C through the full pipeline and watch a benchmark run
+under OSR instrumentation.
+
+Compiles a mini-C Mandelbrot kernel (from the shootout suite), shows the
+-O0 / mem2reg / -O1 stages, inserts a never-firing OSR point in the
+hottest loop (the Q1 experiment's configuration) and compares timings.
+
+Run:  python examples/minic_pipeline.py
+"""
+
+import time
+
+from repro.core import HotCounterCondition, insert_open_osr_point
+from repro.experiments.sites import loop_osr_location
+from repro.frontend import compile_c
+from repro.ir import print_function
+from repro.shootout import SUITE, compile_benchmark
+from repro.transform import PassManager
+from repro.vm import ExecutionEngine
+
+DEMO_C = """
+long collatz_len(long n) {
+    long steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+"""
+
+
+def show_pipeline():
+    print("=== mini-C source ===")
+    print(DEMO_C)
+
+    module = compile_c(DEMO_C)
+    func = module.get_function("collatz_len")
+    print("=== clang-style -O0 (alloca form) ===")
+    print(print_function(func))
+
+    PassManager.pipeline("unoptimized").run(func)
+    print("\n=== after mem2reg (the paper's 'unoptimized' tier) ===")
+    print(print_function(func))
+
+    PassManager.pipeline("optimized").run(func)
+    print("\n=== after the -O1-like pipeline ===")
+    print(print_function(func))
+
+    engine = ExecutionEngine(module)
+    print("\ncollatz_len(27) =", engine.run("collatz_len", 27))
+
+
+def bench_with_osr_point():
+    benchmark = SUITE["mbrot"]
+    print(f"\n--- {benchmark.name}: native vs never-firing OSR point ---")
+
+    native_module = compile_benchmark(benchmark, "optimized")
+    native_engine = ExecutionEngine(native_module)
+    native_engine.run(benchmark.entry, *benchmark.args)  # warm-up
+    start = time.perf_counter()
+    native_result = native_engine.run(benchmark.entry, *benchmark.args)
+    native_time = time.perf_counter() - start
+
+    osr_module = compile_benchmark(benchmark, "optimized")
+    osr_engine = ExecutionEngine(osr_module)
+    hot = osr_module.get_function(benchmark.q1_functions[0])
+    insert_open_osr_point(
+        hot, loop_osr_location(hot),
+        HotCounterCondition(HotCounterCondition.NEVER),
+        lambda *a: (_ for _ in ()).throw(AssertionError("never fires")),
+        osr_engine, val=None,
+    )
+    osr_engine.run(benchmark.entry, *benchmark.args)  # warm-up
+    start = time.perf_counter()
+    osr_result = osr_engine.run(benchmark.entry, *benchmark.args)
+    osr_time = time.perf_counter() - start
+
+    assert native_result == osr_result
+    print(f"native: {native_time * 1000:7.1f} ms   "
+          f"with OSR point: {osr_time * 1000:7.1f} ms   "
+          f"slowdown: {osr_time / native_time:.3f}x")
+
+
+if __name__ == "__main__":
+    show_pipeline()
+    bench_with_osr_point()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments that lack the ``wheel`` package (pip falls back to the legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Flexible On-Stack Replacement in LLVM' (CGO 2016): "
+        "OSRKit on a pure-Python SSA IR and VM, with a McVM-style feval case study"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

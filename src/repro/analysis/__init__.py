@@ -1,0 +1,48 @@
+"""repro.analysis — IR analyses (CFG, dominators, liveness, loops).
+
+These are the LLVM analyses the OSR machinery consumes: liveness drives
+the live-variable transfer at OSR points, dominators back the verifier and
+mem2reg, and loop info drives hottest-loop OSR point placement.
+"""
+
+from .callgraph import CallGraph
+from .cfg import (
+    depth_first_order,
+    post_order,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_post_order,
+    split_edge,
+)
+from .dominators import DominatorTree
+from .liveness import LivenessInfo, live_values_at
+from .loops import Loop, LoopInfo
+from .usedef import (
+    instruction_users,
+    is_trivially_dead,
+    transitive_users,
+    used_outside_block,
+    users_in_block,
+)
+
+__all__ = [
+    "CallGraph",
+    "DominatorTree",
+    "LivenessInfo",
+    "live_values_at",
+    "Loop",
+    "LoopInfo",
+    "depth_first_order",
+    "post_order",
+    "predecessor_map",
+    "reachable_blocks",
+    "remove_unreachable_blocks",
+    "reverse_post_order",
+    "split_edge",
+    "instruction_users",
+    "is_trivially_dead",
+    "transitive_users",
+    "used_outside_block",
+    "users_in_block",
+]

@@ -1,0 +1,74 @@
+"""Call graph construction.
+
+Direct calls contribute precise edges; indirect calls are recorded as such
+(the VM's profiler resolves them dynamically, which is how the open-OSR
+feval optimizer learns actual targets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.function import Function, Module
+from ..ir.instructions import CallInst, IndirectCallInst
+
+
+class CallGraph:
+    """Static call graph over a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[Function, List[Function]] = {}
+        self.callers: Dict[Function, List[Function]] = {}
+        self.has_indirect_calls: Dict[Function, bool] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        funcs = self.module.functions
+        self.callees = {f: [] for f in funcs}
+        self.callers = {f: [] for f in funcs}
+        self.has_indirect_calls = {f: False for f in funcs}
+        for func in funcs:
+            if func.is_declaration:
+                continue
+            for inst in func.instructions():
+                if isinstance(inst, CallInst) and isinstance(inst.callee, Function):
+                    target = inst.callee
+                    if target not in self.callees[func]:
+                        self.callees[func].append(target)
+                    if target in self.callers and func not in self.callers[target]:
+                        self.callers[target].append(func)
+                elif isinstance(inst, IndirectCallInst):
+                    self.has_indirect_calls[func] = True
+
+    def is_recursive(self, func: Function) -> bool:
+        """Does ``func`` (transitively) call itself?"""
+        seen: Set[Function] = set()
+        stack = list(self.callees.get(func, []))
+        while stack:
+            node = stack.pop()
+            if node is func:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.callees.get(node, []))
+        return False
+
+    def post_order(self) -> List[Function]:
+        """Bottom-up order (callees before callers); cycles broken at
+        first visit.  Used by the inliner."""
+        seen: Set[Function] = set()
+        order: List[Function] = []
+
+        def visit(func: Function) -> None:
+            if func in seen:
+                return
+            seen.add(func)
+            for callee in self.callees.get(func, []):
+                visit(callee)
+            order.append(func)
+
+        for func in self.module.functions:
+            visit(func)
+        return order

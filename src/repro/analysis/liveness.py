@@ -1,0 +1,164 @@
+"""Live-variable analysis.
+
+OSRKit's central analysis: to instrument a point ``L`` we must know the set
+of SSA values (arguments and instruction results) that are *live* at ``L``
+— defined before ``L`` and used on some path from ``L``.  These are exactly
+the values the paper transfers to the continuation function.
+
+Implemented as the textbook backward dataflow over basic blocks with LLVM
+phi semantics: a phi's incoming value is treated as used at the *end of the
+matching predecessor*, and phi results are defined at block entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Union
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.values import Argument, Value
+from .cfg import post_order
+
+#: the value kinds that participate in liveness (constants/globals are
+#: always materializable and never "live" in the OSR sense)
+TrackedValue = Union[Argument, Instruction]
+
+
+def _is_tracked(value: Value) -> bool:
+    return isinstance(value, (Argument, Instruction))
+
+
+class LivenessInfo:
+    """Per-block live-in/live-out sets, with per-point queries."""
+
+    def __init__(self, func: Function):
+        self.function = func
+        self.live_in: Dict[BasicBlock, Set[TrackedValue]] = {}
+        self.live_out: Dict[BasicBlock, Set[TrackedValue]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        func = self.function
+        blocks = func.blocks
+        # use/def per block, with phi special-casing
+        use: Dict[BasicBlock, Set[TrackedValue]] = {}
+        defs: Dict[BasicBlock, Set[TrackedValue]] = {}
+        # phi uses attributed to predecessor ends: pred -> set of values
+        phi_uses: Dict[BasicBlock, Set[TrackedValue]] = {b: set() for b in blocks}
+
+        for block in blocks:
+            u: Set[TrackedValue] = set()
+            d: Set[TrackedValue] = set()
+            for inst in block.instructions:
+                if isinstance(inst, PhiInst):
+                    for value, pred in inst.incoming:
+                        if _is_tracked(value) and pred in phi_uses:
+                            phi_uses[pred].add(value)
+                else:
+                    for op in inst.operands:
+                        if _is_tracked(op) and op not in d:
+                            u.add(op)
+                if not inst.type.is_void:
+                    d.add(inst)
+            use[block] = u
+            defs[block] = d
+
+        live_in: Dict[BasicBlock, Set[TrackedValue]] = {b: set() for b in blocks}
+        live_out: Dict[BasicBlock, Set[TrackedValue]] = {b: set() for b in blocks}
+
+        # iterate in postorder (good order for backward problems)
+        order = post_order(func)
+        order_set = set(order)
+        worklist = list(order)
+        in_worklist = set(order)
+        while worklist:
+            block = worklist.pop(0)
+            in_worklist.discard(block)
+            out: Set[TrackedValue] = set(phi_uses[block])
+            for succ in block.successors():
+                if succ not in order_set:
+                    continue
+                # successor live-in minus its phi defs (phi defs happen at
+                # the successor's entry), since phi inputs were already
+                # attributed to this block via phi_uses
+                succ_phi_defs = {p for p in succ.phis}
+                out |= live_in[succ] - succ_phi_defs
+            new_in = use[block] | (out - defs[block])
+            # phi results are defined at entry, so they are in live_in
+            # only if live; they are not uses
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                for pred in block.predecessors():
+                    if pred in order_set and pred not in in_worklist:
+                        worklist.append(pred)
+                        in_worklist.add(pred)
+
+        self.live_in = live_in
+        self.live_out = live_out
+
+    # -- per-point queries -----------------------------------------------------
+
+    def live_before(self, inst: Instruction) -> List[TrackedValue]:
+        """Values live immediately before ``inst``, in deterministic order.
+
+        Deterministic ordering matters: the continuation function's
+        parameter list is built from this sequence, and it must match
+        between instrumentation and continuation generation.
+        """
+        block = inst.parent
+        if block is None:
+            raise ValueError("instruction is not in a block")
+        live: Set[TrackedValue] = set(self.live_out[block])
+        instructions = block.instructions
+        index = instructions.index(inst)
+        for later in reversed(instructions[index:]):
+            if isinstance(later, PhiInst):
+                continue  # phi inputs belong to predecessors
+            if not later.type.is_void:
+                live.discard(later)
+            for op in later.operands:
+                if _is_tracked(op):
+                    live.add(op)
+        # phis of this block located *before* the program point are defs
+        # that may be live (they are included via live_out/uses above).
+        return self._sorted(live, block)
+
+    def live_at_block_entry(self, block: BasicBlock) -> List[TrackedValue]:
+        """Values live at block entry, *including* the block's own phi
+        results (which are defined "at" entry and thus available there)."""
+        live = set(self.live_in[block])
+        for phi in block.phis:
+            if phi in self.live_in[block] or self._phi_used(phi):
+                live.add(phi)
+        return self._sorted(live, block)
+
+    def _phi_used(self, phi: PhiInst) -> bool:
+        return phi.is_used()
+
+    def _sorted(self, live: Set[TrackedValue], block: BasicBlock
+                ) -> List[TrackedValue]:
+        """Stable order: function arguments first (by index), then
+        instructions in function layout order."""
+        func = self.function
+        positions: Dict[int, int] = {}
+        counter = 0
+        for b in func.blocks:
+            for inst in b.instructions:
+                positions[id(inst)] = counter
+                counter += 1
+
+        def key(value: TrackedValue):
+            if isinstance(value, Argument):
+                return (0, value.index)
+            return (1, positions.get(id(value), 1 << 30))
+
+        return sorted(live, key=key)
+
+
+def live_values_at(inst: Instruction) -> List[TrackedValue]:
+    """Convenience wrapper: live values immediately before ``inst``."""
+    func = inst.function
+    if func is None:
+        raise ValueError("instruction is not inside a function")
+    return LivenessInfo(func).live_before(inst)

@@ -1,0 +1,57 @@
+"""Def-use helpers layered over the operand tracking in :mod:`repro.ir`.
+
+The IR keeps bidirectional use lists; this module adds the queries passes
+phrase their work in: "all instructions using X inside block B",
+"is X used outside block B", "transitive users", etc.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Instruction
+from ..ir.values import Value
+
+
+def instruction_users(value: Value) -> List[Instruction]:
+    """Distinct instructions that use ``value``."""
+    return [u for u in value.users if isinstance(u, Instruction)]
+
+
+def users_in_block(value: Value, block: BasicBlock) -> List[Instruction]:
+    return [u for u in instruction_users(value) if u.parent is block]
+
+
+def used_outside_block(value: Value, block: BasicBlock) -> bool:
+    return any(u.parent is not block for u in instruction_users(value))
+
+
+def transitive_users(value: Value) -> Set[Instruction]:
+    """All instructions reachable by following use edges from ``value``."""
+    seen: Set[Instruction] = set()
+    frontier: List[Value] = [value]
+    while frontier:
+        node = frontier.pop()
+        for user in node.users:
+            if isinstance(user, Instruction) and user not in seen:
+                seen.add(user)
+                if not user.type.is_void:
+                    frontier.append(user)
+    return seen
+
+
+def defs_in_function(func: Function) -> Iterator[Instruction]:
+    """All value-producing instructions of a function."""
+    for inst in func.instructions():
+        if not inst.type.is_void:
+            yield inst
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """Dead if it produces an unused value and has no side effects."""
+    if inst.has_side_effects():
+        return False
+    if inst.type.is_void:
+        return False
+    return not inst.is_used()

@@ -1,0 +1,129 @@
+"""OSR conditions.
+
+An OSR condition decides at run time whether the transition fires at the
+instrumented point (paper, Section 2).  A condition object knows how to
+emit the IR that computes an ``i1`` at the OSR point:
+
+* :class:`HotCounterCondition` — the classic profile counter of Figure 5:
+  a counter initialized to the threshold is decremented at each check and
+  the OSR fires when it reaches zero.  The counter is emitted as an
+  entry-block alloca plus load/dec/store and then promoted to phi form
+  with a targeted mem2reg run, producing exactly the fused-counter shape
+  the paper shows.
+* :class:`AlwaysCondition` / :class:`NeverCondition` — constant
+  conditions used by the Q2 transition-cost experiments.
+* :class:`GuardCondition` — a front-end-supplied emitter, used for
+  speculation guards (deoptimize when an assumption fails).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.values import ConstantInt, Value
+from ..transform.mem2reg import promote_memory_to_registers
+
+
+class OSRCondition:
+    """Base class; subclasses emit the i1 condition at the OSR point."""
+
+    def prepare(self, func: Function) -> None:
+        """Emit any entry-block setup (counter initialization).  Runs
+        *before* the caller positions its builder at the check point, so
+        insertions here cannot invalidate the check-site position."""
+
+    def emit(self, func: Function, builder: IRBuilder) -> Value:
+        """Emit condition code with ``builder`` positioned where the check
+        happens; returns the ``i1`` value ("fire the OSR")."""
+        raise NotImplementedError
+
+    def finalize(self, func: Function) -> None:
+        """Hook run after the OSR point is fully inserted (e.g. promote
+        counters to SSA form)."""
+
+
+class HotCounterCondition(OSRCondition):
+    """Fire after ``threshold`` executions of the OSR point.
+
+    The counter starts at ``threshold`` and decrements at every check;
+    the OSR fires when it hits zero.  A threshold that can never be
+    reached within a run gives the *never-firing* configuration of the
+    paper's Q1 experiment while still paying the real per-check cost
+    (decrement + compare + untaken branch).
+    """
+
+    #: a threshold no benchmark will ever reach (Q1 never-firing setup)
+    NEVER = 1 << 60
+
+    def __init__(self, threshold: int, counter_name: str = "p.osr"):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.counter_name = counter_name
+        self._alloca = None
+
+    def prepare(self, func: Function) -> None:
+        entry_builder = IRBuilder().position_at_start(func.entry)
+        slot = entry_builder.alloca(T.i64, f"{self.counter_name}.slot")
+        entry_builder.store(entry_builder.const_i64(self.threshold), slot)
+        self._alloca = slot
+
+    def emit(self, func: Function, builder: IRBuilder) -> Value:
+        slot = self._alloca
+        if slot is None:
+            raise ValueError("HotCounterCondition.emit before prepare()")
+        counter = builder.load(slot, self.counter_name)
+        decremented = builder.add(
+            counter, builder.const_i64(-1), f"{self.counter_name}1",
+            flags=("nsw",),
+        )
+        builder.store(decremented, slot)
+        return builder.icmp("eq", decremented, builder.const_i64(0), "osr.cond")
+
+    def finalize(self, func: Function) -> None:
+        # lift the counter into phi form (Figure 5's fused counter)
+        if self._alloca is not None and self._alloca.parent is not None:
+            promote_memory_to_registers(func, only={self._alloca})
+        self._alloca = None
+
+
+class AlwaysCondition(OSRCondition):
+    """Constant-true condition: the OSR fires on first reaching the point."""
+
+    def emit(self, func: Function, builder: IRBuilder) -> Value:
+        return ConstantInt(T.i1, 1)
+
+
+class NeverCondition(OSRCondition):
+    """Constant-false condition: machinery is present but never fires.
+
+    Unlike :class:`HotCounterCondition` with an unreachable threshold,
+    this emits *no* per-check work, so it measures pure code-layout
+    effects of the OSR block.
+    """
+
+    def emit(self, func: Function, builder: IRBuilder) -> Value:
+        return ConstantInt(T.i1, 0)
+
+
+class GuardCondition(OSRCondition):
+    """Front-end-supplied condition (speculation guards / deoptimization).
+
+    ``emitter(func, builder)`` must return an ``i1`` that is true when the
+    speculative assumption *fails* and execution must transfer to the
+    (typically less optimized) OSR target.
+    """
+
+    def __init__(self, emitter: Callable[[Function, IRBuilder], Value]):
+        self.emitter = emitter
+
+    def emit(self, func: Function, builder: IRBuilder) -> Value:
+        value = self.emitter(func, builder)
+        if value.type != T.i1:
+            raise TypeError(
+                f"guard emitter must produce i1, got {value.type}"
+            )
+        return value

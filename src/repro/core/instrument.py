@@ -1,0 +1,438 @@
+"""OSR point insertion (paper Section 3, Figures 5 and 6).
+
+Instruments a base function ``f`` at an arbitrary location ``L`` (any
+instruction boundary — one of the paper's novel claims over McOSR's
+loop-header restriction):
+
+* the containing block is split at ``L``;
+* the condition's code is emitted before the split edge and a conditional
+  branch diverts control to a dedicated ``osr`` block when it fires;
+* the ``osr`` block tail-calls either the continuation function directly
+  (*resolved* OSR, Figure 2) or a freshly built *stub* that invokes a
+  code generator at run time and then calls the continuation it produced
+  (*open* OSR, Figures 3 and 6).
+
+Instrumentation happens in place (the instrumented ``f`` is the paper's
+``f_from``); callers holding an execution engine should let these helpers
+invalidate the compiled form so the next call picks up the OSR machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..analysis.liveness import LivenessInfo
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.constexpr import ConstantIntToPtr
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import Instruction
+from ..ir.types import FunctionType, PointerType
+from ..ir.values import Value
+from ..ir.verifier import verify_function
+from ..transform.clone import clone_function
+from .conditions import OSRCondition
+from .continuation import OSRError, generate_continuation
+from .statemap import StateMapping
+
+
+class ResolvedOSR:
+    """Result of inserting a resolved OSR point."""
+
+    def __init__(self, function: Function, continuation: Function,
+                 variant: Function, osr_block: BasicBlock,
+                 continuation_block: BasicBlock, live_values: List[Value]):
+        self.function = function          #: the instrumented f_from
+        self.continuation = continuation  #: f'_to
+        self.variant = variant            #: f'
+        self.osr_block = osr_block
+        self.continuation_block = continuation_block
+        self.live_values = live_values
+
+
+class OpenOSR:
+    """Result of inserting an open OSR point."""
+
+    def __init__(self, function: Function, stub: Function,
+                 osr_block: BasicBlock, continuation_block: BasicBlock,
+                 live_values: List[Value]):
+        self.function = function  #: the instrumented f_from
+        self.stub = stub          #: f_stub
+        self.osr_block = osr_block
+        self.continuation_block = continuation_block
+        self.live_values = live_values
+
+
+def split_block_at(location: Instruction) -> BasicBlock:
+    """Split the block containing ``location`` so that ``location`` starts
+    a new block; returns that new block.
+
+    The original block keeps the instructions before ``location`` (and all
+    phis) and falls through with an unconditional branch.  This is a pure
+    restructuring — semantics are unchanged.
+    """
+    block = location.parent
+    if block is None:
+        raise OSRError("location is not inside a block")
+    if location.is_phi:
+        raise OSRError("cannot split at a phi; choose the first non-phi")
+    func = block.parent
+    instructions = block.instructions
+    index = instructions.index(location)
+    cont = BasicBlock(f"{block.name}.cont")
+    func.add_block(cont, after=block)
+    for inst in instructions[index:]:
+        block.remove(inst)
+        cont.append(inst)
+    # successors' phis must now name the new block
+    for succ in cont.successors():
+        for phi in succ.phis:
+            phi.replace_incoming_block(block, cont)
+    IRBuilder(block).br(cont)
+    return cont
+
+
+def _emit_osr_check(func: Function, check_block: BasicBlock,
+                    cont_block: BasicBlock, condition: OSRCondition,
+                    ) -> BasicBlock:
+    """Emit the condition at the end of ``check_block`` and branch to a
+    fresh ``osr`` block when it fires; returns the osr block."""
+    condition.prepare(func)
+    terminator = check_block.terminator
+    builder = IRBuilder().position_before(terminator)
+    cond_value = condition.emit(func, builder)
+    osr_block = BasicBlock("osr")
+    func.add_block(osr_block)
+    terminator.erase_from_parent()
+    IRBuilder(check_block).cond_br(cond_value, osr_block, cont_block)
+    return osr_block
+
+
+def insert_resolved_osr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    variant: Optional[Function] = None,
+    landing: Optional[BasicBlock] = None,
+    mapping: Optional[StateMapping] = None,
+    cont_name: Optional[str] = None,
+    engine=None,
+    verify: bool = True,
+) -> ResolvedOSR:
+    """Insert a resolved OSR point before ``location`` (Figure 2).
+
+    With no ``variant``, the OSR transfers to a clone of ``func`` (the
+    paper's Q2 setup): the clone, landing block and identity state mapping
+    are derived automatically.  Otherwise the caller provides the variant
+    ``f'``, the landing block ``L'`` and a :class:`StateMapping` covering
+    the live-in state of ``L'`` (with compensation code as needed).
+    """
+    module = func.module
+    if module is None:
+        raise OSRError(f"@{func.name} is not inside a module")
+
+    live_values = LivenessInfo(func).live_before(location)
+    check_block = location.parent
+    cont_block = split_block_at(location)
+
+    if variant is None:
+        if landing is not None or mapping is not None:
+            raise OSRError(
+                "landing/mapping given without a variant function"
+            )
+        variant, vmap = clone_function(
+            func, module.unique_name(f"{func.name}.clone")
+        )
+        landing = vmap[cont_block]
+        mapping = StateMapping.identity(live_values).translate_keys(vmap)
+    else:
+        if landing is None or mapping is None:
+            raise OSRError("an explicit variant requires landing and mapping")
+
+    continuation = generate_continuation(
+        variant, landing, live_values, mapping,
+        name=cont_name or f"{variant.name}to",
+        module=module, verify=verify,
+    )
+
+    osr_block = _emit_osr_check(func, check_block, cont_block, condition)
+    builder = IRBuilder(osr_block)
+    call = builder.call(continuation, live_values, "osr.res", tail=True)
+    if func.return_type.is_void:
+        builder.ret_void()
+    else:
+        builder.ret(call)
+    condition.finalize(func)
+
+    func.assign_names()
+    if verify:
+        verify_function(func)
+    if engine is not None:
+        engine.invalidate(func)
+    return ResolvedOSR(func, continuation, variant, osr_block,
+                       cont_block, live_values)
+
+
+#: signature of the run-time code generator the open-OSR stub invokes:
+#: (f, osr-block, env, val) -> continuation function pointer
+def _generator_type(cont_fnty: FunctionType) -> FunctionType:
+    i8p = T.ptr(T.i8)
+    return FunctionType(PointerType(cont_fnty), [i8p, i8p, i8p, i8p])
+
+
+def build_open_osr_stub(
+    func: Function,
+    osr_source_block: BasicBlock,
+    live_values: Sequence[Value],
+    generator: Callable,
+    env: Any,
+    engine,
+    stub_name: Optional[str] = None,
+    gen_function: Optional[Function] = None,
+    gen_block: Optional[BasicBlock] = None,
+) -> Function:
+    """Build ``f_stub`` (Figure 6).
+
+    The stub receives ``(i8* val, live values...)``; it calls the code
+    generator through a function pointer baked in as an ``inttoptr``
+    constant, passing three more baked-in ``i8*`` handles — the base
+    function, the OSR source block, and the code-generation environment —
+    plus the forwarded ``val``.  It then tail-calls the continuation the
+    generator returned, forwarding the live values.
+
+    ``generator(f, block, env, val)`` runs in the host; it must return an
+    IR :class:`Function` (the continuation) or a callable.
+    """
+    module = func.module
+    cont_fnty = FunctionType(
+        func.return_type, [v.type for v in live_values]
+    )
+    gen_fnty = _generator_type(cont_fnty)
+    i8p = T.ptr(T.i8)
+
+    def generator_wrapper(f_obj, block_obj, env_obj, val):
+        produced = generator(f_obj, block_obj, env_obj, val)
+        if isinstance(produced, Function):
+            return engine.handle_for(produced)
+        if callable(produced):
+            return produced
+        raise OSRError(
+            f"open-OSR generator returned non-callable {produced!r}"
+        )
+
+    gen_handle = engine.object_table.intern(
+        engine.add_native(f"osr.gen.{func.name}", generator_wrapper)
+    )
+    func_handle = engine.object_table.intern(
+        gen_function if gen_function is not None else func
+    )
+    block_handle = engine.object_table.intern(
+        gen_block if gen_block is not None else osr_source_block
+    )
+    env_handle = engine.object_table.intern(env)
+
+    stub_params = [i8p] + [v.type for v in live_values]
+    stub_arg_names = ["val"] + [f"{v.name or 'live'}_osr" for v in live_values]
+    # deduplicate argument names
+    seen = set()
+    for i, nm in enumerate(stub_arg_names):
+        candidate, k = nm, 1
+        while candidate in seen:
+            candidate = f"{nm}{k}"
+            k += 1
+        seen.add(candidate)
+        stub_arg_names[i] = candidate
+    stub = Function(
+        FunctionType(func.return_type, stub_params),
+        module.unique_name(stub_name or f"{func.name}stub"),
+        stub_arg_names,
+    )
+    module.add_function(stub)
+
+    entry = BasicBlock("entry", stub)
+    builder = IRBuilder(entry)
+    gen_ptr = ConstantIntToPtr(PointerType(gen_fnty), gen_handle)
+    cont_func = builder.call_indirect(
+        gen_ptr,
+        [
+            ConstantIntToPtr(i8p, func_handle),
+            ConstantIntToPtr(i8p, block_handle),
+            ConstantIntToPtr(i8p, env_handle),
+            stub.args[0],
+        ],
+        "cont.func",
+    )
+    call = builder.call_indirect(
+        cont_func, list(stub.args[1:]), "osr.res", tail=True
+    )
+    if func.return_type.is_void:
+        builder.ret_void()
+    else:
+        builder.ret(call)
+    verify_function(stub)
+    return stub
+
+
+def insert_open_osr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    generator: Callable,
+    engine,
+    env: Any = None,
+    val: Optional[Value] = None,
+    pass_pristine_copy: bool = True,
+    use_stub: bool = True,
+    verify: bool = True,
+) -> OpenOSR:
+    """Insert an open OSR point before ``location`` (Figure 3).
+
+    ``generator(f, block, env, val)`` is invoked in the host when the OSR
+    fires; it receives the base function, the block the OSR fired from,
+    the caller-supplied environment object, and the run-time value of
+    ``val`` (an ``i8*``-compatible live value, or null).  It must return
+    the continuation :class:`Function` to transfer to.
+
+    With ``pass_pristine_copy`` (the default) the ``f`` handed to the
+    generator is a clone of the function *before* the OSR machinery was
+    added, so continuations derived from it carry no counter state —
+    matching the paper's Figure 7, where the continuation is free of
+    instrumentation.  Pass ``False`` to hand the generator the live,
+    instrumented function instead (useful when the generator wants to
+    keep or re-arm OSR points in the variant).
+    """
+    module = func.module
+    if module is None:
+        raise OSRError(f"@{func.name} is not inside a module")
+    if val is not None and not val.type.is_pointer:
+        raise OSRError(f"open-OSR val must be pointer-typed, got {val.type}")
+
+    live_values = LivenessInfo(func).live_before(location)
+    check_block = location.parent
+    cont_block = split_block_at(location)
+
+    if pass_pristine_copy:
+        pristine, pristine_vmap = clone_function(
+            func, module.unique_name(f"{func.name}.orig")
+        )
+        gen_function: Function = pristine
+        gen_block: BasicBlock = pristine_vmap[cont_block]
+    else:
+        gen_function = func
+        gen_block = cont_block
+
+    stub: Optional[Function] = None
+    if use_stub:
+        stub = build_open_osr_stub(
+            func, cont_block, live_values, generator, env, engine,
+            gen_function=gen_function, gen_block=gen_block,
+        )
+
+    osr_block = _emit_osr_check(func, check_block, cont_block, condition)
+    builder = IRBuilder(osr_block)
+    i8p = T.ptr(T.i8)
+    if val is None:
+        val_i8 = builder.const_null(i8p)
+    elif val.type == i8p:
+        val_i8 = val
+    else:
+        val_i8 = builder.bitcast(val, i8p, "val")
+    if use_stub:
+        call = builder.call(
+            stub, [val_i8] + list(live_values), "osr.res", tail=True
+        )
+    else:
+        # ablation configuration: no stub indirection — the generator
+        # invocation machinery is injected straight into the function
+        # (the design the paper's stub exists to avoid)
+        call = _emit_inline_generation(
+            builder, func, live_values, generator, env, engine,
+            gen_function, gen_block, val_i8,
+        )
+    if func.return_type.is_void:
+        builder.ret_void()
+    else:
+        builder.ret(call)
+    condition.finalize(func)
+
+    func.assign_names()
+    if verify:
+        verify_function(func)
+    engine.invalidate(func)
+    return OpenOSR(func, stub, osr_block, cont_block, live_values)
+
+
+def _emit_inline_generation(builder, func, live_values, generator, env,
+                            engine, gen_function, gen_block, val_i8):
+    """Emit the generator call + continuation call directly (no stub)."""
+    i8p = T.ptr(T.i8)
+    cont_fnty = FunctionType(
+        func.return_type, [v.type for v in live_values]
+    )
+    gen_fnty = _generator_type(cont_fnty)
+
+    def generator_wrapper(f_obj, block_obj, env_obj, val):
+        produced = generator(f_obj, block_obj, env_obj, val)
+        if isinstance(produced, Function):
+            return engine.handle_for(produced)
+        if callable(produced):
+            return produced
+        raise OSRError(
+            f"open-OSR generator returned non-callable {produced!r}"
+        )
+
+    gen_handle = engine.object_table.intern(
+        engine.add_native(f"osr.gen.{func.name}", generator_wrapper)
+    )
+    gen_ptr = ConstantIntToPtr(PointerType(gen_fnty), gen_handle)
+    cont_func = builder.call_indirect(
+        gen_ptr,
+        [
+            ConstantIntToPtr(i8p, engine.object_table.intern(gen_function)),
+            ConstantIntToPtr(i8p, engine.object_table.intern(gen_block)),
+            ConstantIntToPtr(i8p, engine.object_table.intern(env)),
+            val_i8,
+        ],
+        "cont.func",
+    )
+    return builder.call_indirect(
+        cont_func, list(live_values), "osr.res", tail=True
+    )
+
+
+def remove_osr_point(point, engine=None) -> Function:
+    """Undo an OSR instrumentation (de-instrumentation).
+
+    Retargets the firing branch so the check block falls through
+    unconditionally, deletes the ``osr`` block, and strips the now-dead
+    condition machinery (including self-sustaining counter phis) with
+    aggressive DCE.  The continuation/stub functions stay in the module —
+    other callers may still reference them; drop them explicitly if not.
+
+    Accepts a :class:`ResolvedOSR`, :class:`OpenOSR`, or anything with
+    ``function`` and ``osr_block`` attributes; returns the cleaned
+    function.
+    """
+    from ..analysis.cfg import remove_unreachable_blocks
+    from ..transform.dce import aggressive_dce
+
+    func: Function = point.function
+    osr_block: BasicBlock = point.osr_block
+    if osr_block.parent is not func:
+        raise OSRError("OSR point was already removed")
+    for pred in osr_block.predecessors():
+        term = pred.terminator
+        remaining = [s for s in term.successors() if s is not osr_block]
+        if len(remaining) != 1:
+            raise OSRError(
+                f"cannot de-instrument: %{pred.name} does not end in the "
+                f"expected two-way OSR check"
+            )
+        term.erase_from_parent()
+        IRBuilder(pred).br(remaining[0])
+    remove_unreachable_blocks(func)
+    aggressive_dce(func)
+    verify_function(func)
+    if engine is not None:
+        engine.invalidate(func)
+    return func

@@ -1,0 +1,190 @@
+"""McOSR-style baseline (Lameed & Hendren, VEE'13) for ablation studies.
+
+The technique OSRKit improves upon (paper Section 3, "Comparison with
+McOSR"): when the OSR fires,
+
+1. live values are spilled to a pool of module globals,
+2. a global flag is raised, and
+3. the function *calls itself* with dummy parameters;
+
+a new entrypoint prepended to the function checks the flag: when set, it
+clears the flag, reloads the live values from the global pool and jumps
+to the landing pad.  McOSR only supports OSR points at loop headers with
+exactly two predecessors; this implementation enforces the same
+restriction so the ablation benchmark compares like with like.
+
+Contrast with OSRKit (``repro.core.instrument``): no continuation
+function, state travels through memory rather than registers/arguments,
+and the extra entrypoint stays in the function, disturbing later
+optimization — the effects Table 2/Figure 10 quantify for the OSRKit
+design and ``benchmarks/bench_ablation_mcosr.py`` quantifies for this one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.cfg import predecessor_map
+from ..analysis.liveness import LivenessInfo
+from ..ir import types as T
+from ..ir.builder import IRBuilder
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from ..ir.verifier import verify_function
+from ..transform.ssaupdater import SSAUpdater
+from .conditions import OSRCondition
+from .continuation import OSRError
+from .instrument import _emit_osr_check, split_block_at
+
+
+class McOSRPoint:
+    """Result of inserting a McOSR-style OSR point."""
+
+    def __init__(self, function: Function, flag: GlobalVariable,
+                 pool: List[GlobalVariable], osr_block: BasicBlock,
+                 landing_block: BasicBlock):
+        self.function = function
+        self.flag = flag
+        self.pool = pool
+        self.osr_block = osr_block
+        self.landing_block = landing_block
+
+
+def _zero_of(ty: T.Type):
+    if isinstance(ty, T.IntType):
+        return ConstantInt(ty, 0)
+    if isinstance(ty, T.FloatType):
+        return ConstantFloat(ty, 0.0)
+    if isinstance(ty, T.PointerType):
+        return ConstantNull(ty)
+    raise OSRError(f"cannot build a zero initializer for {ty}")
+
+
+def insert_mcosr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    engine=None,
+    verify: bool = True,
+) -> McOSRPoint:
+    """Insert a McOSR-style OSR point before ``location``.
+
+    The "transformation" applied when the OSR fires is the identity (the
+    function re-enters itself), which is what the transition-cost
+    ablation measures; a real deployment would recompile the function in
+    the fired path first.
+    """
+    module = func.module
+    if module is None:
+        raise OSRError(f"@{func.name} is not inside a module")
+
+    block = location.parent
+    preds = predecessor_map(func)[block]
+    if len(preds) != 2:
+        raise OSRError(
+            "McOSR restriction: OSR points only at blocks with exactly "
+            f"two predecessors (%{block.name} has {len(preds)})"
+        )
+
+    live_values = LivenessInfo(func).live_before(location)
+    check_block = location.parent
+    landing = split_block_at(location)
+
+    # -- global pool -----------------------------------------------------------
+    flag = GlobalVariable(T.i1, module.unique_name(f"{func.name}.osr.flag"),
+                          ConstantInt(T.i1, 0))
+    module.add_global(flag)
+    pool: List[GlobalVariable] = []
+    for index, value in enumerate(live_values):
+        gv = GlobalVariable(
+            value.type,
+            module.unique_name(f"{func.name}.osr.live{index}"),
+            _zero_of(value.type),
+        )
+        module.add_global(gv)
+        pool.append(gv)
+
+    # -- firing path: spill, raise flag, self-call -------------------------------
+    osr_block = _emit_osr_check(func, check_block, landing, condition)
+    builder = IRBuilder(osr_block)
+    for value, gv in zip(live_values, pool):
+        builder.store(value, gv)
+    builder.store(builder.const_i1(True), flag)
+    dummy_args: List[Value] = [UndefValue(a.type) for a in func.args]
+    call = builder.call(func, dummy_args, "osr.res")
+    if func.return_type.is_void:
+        builder.ret_void()
+    else:
+        builder.ret(call)
+
+    # -- new entrypoint: flag check + state restore -------------------------------
+    old_entry = func.entry
+    new_entry = BasicBlock("osr.dispatch")
+    restore = BasicBlock("osr.restore")
+    func.insert_block_front(new_entry)
+    func.add_block(restore, after=new_entry)
+    # hoist the leading alloca/init run (the hotness counter's storage)
+    # into the new entry so it dominates both dispatch targets
+    hoisted = []
+    from ..ir.instructions import AllocaInst as _Alloca
+    from ..ir.instructions import StoreInst as _Store
+
+    moved_allocas = set()
+    for inst in old_entry.instructions:
+        if isinstance(inst, _Alloca):
+            hoisted.append(inst)
+            moved_allocas.add(id(inst))
+        elif (isinstance(inst, _Store)
+                and id(inst.pointer) in moved_allocas):
+            hoisted.append(inst)
+        else:
+            break
+    for index, inst in enumerate(hoisted):
+        old_entry.remove(inst)
+        new_entry.insert(index, inst)
+    entry_builder = IRBuilder(new_entry)
+    flag_value = entry_builder.load(flag, "osr.flag.val")
+    entry_builder.cond_br(flag_value, restore, old_entry)
+
+    restore_builder = IRBuilder(restore)
+    restore_builder.store(restore_builder.const_i1(False), flag)
+    restored: List[Value] = [
+        restore_builder.load(gv, f"restored{index}")
+        for index, gv in enumerate(pool)
+    ]
+    restore_builder.br(landing)
+
+    # -- SSA repair: the landing pad now has an extra predecessor ---------------
+    for value, new_value in zip(live_values, restored):
+        if isinstance(value, PhiInst) and value.parent is landing:
+            value.add_incoming(new_value, restore)
+        elif isinstance(value, Instruction):
+            updater = SSAUpdater(func, value.type, value.name or "mcosr")
+            updater.add_definition(value.parent, value)
+            updater.add_definition(restore, new_value)
+            updater.rewrite_uses_of(value)
+        else:  # function argument
+            updater = SSAUpdater(func, value.type, value.name or "mcosr")
+            updater.add_definition(new_entry, value)
+            updater.add_definition(restore, new_value)
+            updater.rewrite_uses_of(value)
+    for phi in landing.phis:
+        if not phi.has_incoming_for(restore):
+            phi.add_incoming(UndefValue(phi.type), restore)
+
+    condition.finalize(func)
+    func.assign_names()
+    if verify:
+        verify_function(func)
+    if engine is not None:
+        engine.invalidate(func)
+    return McOSRPoint(func, flag, pool, osr_block, landing)
+

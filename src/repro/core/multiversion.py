@@ -1,0 +1,106 @@
+"""Multi-version function management.
+
+OSRKit "support[s] maintaining multiple versions of the same function,
+which can be very useful in the presence of speculative optimizations and
+deoptimization".  This module tracks the version tree of a logical
+function: the base version, optimized variants reached via OSR, variants
+of variants (``f -> f' -> f''``), and the resolved deoptimization edges
+back to less-optimized versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.function import Function
+
+
+class FunctionVersion:
+    """One node in a logical function's version tree."""
+
+    def __init__(self, function: Function, level: int,
+                 parent: Optional["FunctionVersion"] = None,
+                 note: str = ""):
+        self.function = function
+        #: optimization level: 0 = base, higher = more speculative/optimized
+        self.level = level
+        self.parent = parent
+        self.children: List["FunctionVersion"] = []
+        #: free-form provenance ("inlined comparator @cmp", "feval g=...")
+        self.note = note
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FunctionVersion @{self.function.name} level={self.level}>"
+
+
+class MultiVersionManager:
+    """Registry of version trees, keyed by logical function name."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, FunctionVersion] = {}
+        self._by_function: Dict[str, FunctionVersion] = {}
+
+    def register_base(self, function: Function) -> FunctionVersion:
+        """Register ``function`` as the base (level-0) version."""
+        if function.name in self._by_function:
+            raise ValueError(f"@{function.name} is already registered")
+        version = FunctionVersion(function, level=0)
+        self._roots[function.name] = version
+        self._by_function[function.name] = version
+        return version
+
+    def register_variant(self, parent: Function, variant: Function,
+                         note: str = "") -> FunctionVersion:
+        """Register ``variant`` as derived from ``parent`` (one level up).
+
+        Works transitively, enabling the paper's ``f -> f' -> f''`` chains:
+        a variant registered on a variant gets level ``parent.level + 1``.
+        """
+        parent_version = self._by_function.get(parent.name)
+        if parent_version is None:
+            parent_version = self.register_base(parent)
+        version = FunctionVersion(
+            variant, parent_version.level + 1, parent_version, note
+        )
+        parent_version.children.append(version)
+        self._by_function[variant.name] = version
+        return version
+
+    def version_of(self, function: Function) -> Optional[FunctionVersion]:
+        return self._by_function.get(function.name)
+
+    def base_of(self, function: Function) -> Optional[Function]:
+        """The level-0 ancestor of ``function`` (deoptimization target)."""
+        version = self._by_function.get(function.name)
+        if version is None:
+            return None
+        while version.parent is not None:
+            version = version.parent
+        return version.function
+
+    def lineage(self, function: Function) -> List[Function]:
+        """Chain from base to ``function`` (inclusive)."""
+        version = self._by_function.get(function.name)
+        if version is None:
+            return []
+        chain: List[Function] = []
+        while version is not None:
+            chain.append(version.function)
+            version = version.parent
+        chain.reverse()
+        return chain
+
+    def all_versions(self, function: Function) -> List[Function]:
+        """Every version in the same tree as ``function``."""
+        version = self._by_function.get(function.name)
+        if version is None:
+            return []
+        while version.parent is not None:
+            version = version.parent
+        out: List[Function] = []
+        stack = [version]
+        while stack:
+            node = stack.pop()
+            out.append(node.function)
+            stack.extend(node.children)
+        return out

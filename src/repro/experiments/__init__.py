@@ -1,0 +1,21 @@
+"""repro.experiments — drivers reproducing every figure and table.
+
+* Q1 (:mod:`q1`) — Figures 10/11: never-firing OSR point overhead.
+* Q2 (:mod:`q2`) — Table 2: cost of an OSR transition.
+* Q3 (:mod:`q3`) — Table 3: cost of generating the OSR machinery.
+* Q4 (:mod:`q4`) — Table 4: feval optimization speedups in mini-McVM.
+"""
+
+from .q1 import Q1Row, format_q1, instrument_never_firing, run_q1
+from .q2 import Q2Row, format_q2, run_q2
+from .q3 import Q3Row, format_q3, run_q3
+from .q4 import Q4Row, format_q4, run_q4
+from .sites import entry_osr_location, hottest_loop, loop_osr_location
+
+__all__ = [
+    "run_q1", "format_q1", "Q1Row", "instrument_never_firing",
+    "run_q2", "format_q2", "Q2Row",
+    "run_q3", "format_q3", "Q3Row",
+    "run_q4", "format_q4", "Q4Row",
+    "hottest_loop", "loop_osr_location", "entry_osr_location",
+]

@@ -1,0 +1,69 @@
+"""Run the full evaluation from the command line.
+
+::
+
+    python -m repro.experiments             # everything (several minutes)
+    python -m repro.experiments q1 q4       # a subset
+    python -m repro.experiments q1 --trials 5
+
+Regenerates the data behind Figures 10/11 and Tables 2-4 and prints them
+in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .q1 import format_q1, run_q1
+from .q2 import format_q2, run_q2
+from .q3 import format_q3, run_q3
+from .q4 import format_q4, run_q4
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=["q1", "q2", "q3", "q4"],
+        choices=["q1", "q2", "q3", "q4"],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument("--trials", type=int, default=3,
+                        help="timed trials per configuration (default 3)")
+    args = parser.parse_args(argv)
+
+    banner = "=" * 72
+    if "q1" in args.experiments:
+        print(banner)
+        print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
+        print(banner)
+        for level in ("unoptimized", "optimized"):
+            rows = run_q1(level=level, trials=args.trials)
+            print(format_q1(rows))
+            print()
+    if "q2" in args.experiments:
+        print(banner)
+        print("Q2 / Table 2 — cost of an OSR transition")
+        print(banner)
+        print(format_q2(run_q2(trials=args.trials)))
+        print()
+    if "q3" in args.experiments:
+        print(banner)
+        print("Q3 / Table 3 — OSR machinery generation")
+        print(banner)
+        print(format_q3(run_q3()))
+        print()
+    if "q4" in args.experiments:
+        print(banner)
+        print("Q4 / Table 4 — feval optimization speedups")
+        print(banner)
+        print(format_q4(run_q4(trials=args.trials)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

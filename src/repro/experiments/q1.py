@@ -1,0 +1,107 @@
+"""Q1 — impact of never-firing OSR points on code quality.
+
+Reproduces Figures 10 and 11: for each shootout workload and for both
+pipeline tiers (*unoptimized* = mem2reg only, *optimized* = -O1-like),
+compare the running time of the native code against the same program with
+a never-firing open OSR point inserted in its hottest code portion.
+
+The never-firing configuration uses a hotness counter with an unreachable
+threshold, so the measured overhead includes the real per-check work
+(decrement + compare + never-taken branch) plus any code-quality effects
+of carrying the OSR block, matching the paper's setup; ``null`` is passed
+as the stub's ``val`` argument exactly as Section 5.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..core import HotCounterCondition, insert_open_osr_point
+from ..shootout import SUITE, all_benchmarks, compile_benchmark
+from ..vm import ExecutionEngine
+from .sites import q1_locations
+from .stats import TimingResult, time_run
+
+
+class Q1Row(NamedTuple):
+    workload: str         #: e.g. "n-body-large"
+    level: str            #: "unoptimized" | "optimized"
+    native: TimingResult
+    osr: TimingResult
+
+    @property
+    def slowdown(self) -> float:
+        """Best-trial ratio — robust to interference on a busy machine."""
+        return self.osr.best / self.native.best if self.native.best else 1.0
+
+
+def _never_firing_generator(f, block, env, val):  # pragma: no cover
+    raise AssertionError("never-firing OSR point fired")
+
+
+def instrument_never_firing(module, benchmark, engine) -> int:
+    """Insert never-firing open OSR points at the benchmark's Q1 sites;
+    returns the number of points inserted."""
+    locations = q1_locations(module, benchmark)
+    for location in locations:
+        insert_open_osr_point(
+            location.function,
+            location,
+            HotCounterCondition(HotCounterCondition.NEVER),
+            _never_firing_generator,
+            engine,
+            env=None,
+            val=None,
+        )
+    return len(locations)
+
+
+def run_q1(
+    level: str = "unoptimized",
+    trials: int = 3,
+    names: Optional[List[str]] = None,
+    include_large: bool = True,
+) -> List[Q1Row]:
+    """Run the Q1 experiment; returns one row per workload."""
+    rows: List[Q1Row] = []
+    benchmarks = all_benchmarks() if names is None else [
+        SUITE[name] for name in names
+    ]
+    for benchmark in benchmarks:
+        workloads = [(benchmark.name, benchmark.args, False)]
+        if include_large and benchmark.large_args is not None:
+            workloads.append(
+                (f"{benchmark.name}-large", benchmark.large_args, True)
+            )
+        for label, args, _ in workloads:
+            native_module = compile_benchmark(benchmark, level)
+            native_engine = ExecutionEngine(native_module, tier="jit")
+            native = time_run(
+                lambda: native_engine.run(benchmark.entry, *args),
+                trials=trials,
+            )
+
+            osr_module = compile_benchmark(benchmark, level)
+            osr_engine = ExecutionEngine(osr_module, tier="jit")
+            instrument_never_firing(osr_module, benchmark, osr_engine)
+            osr = time_run(
+                lambda: osr_engine.run(benchmark.entry, *args),
+                trials=trials,
+            )
+            rows.append(Q1Row(label, level, native, osr))
+    return rows
+
+
+def format_q1(rows: List[Q1Row]) -> str:
+    """Render rows the way Figures 10/11 report them (slowdown vs native)."""
+    lines = [
+        "Q1: impact of never-firing OSR points on running time "
+        f"({rows[0].level} code)" if rows else "Q1: (no rows)",
+        f"{'benchmark':<16} {'native':>16} {'OSR':>16} {'slowdown':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<16} {str(row.native):>16} {str(row.osr):>16} "
+            f"{row.slowdown:>8.3f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Q3 — cost of generating the OSR machinery itself (paper Table 3).
+
+Measures, for each benchmark's hot function:
+
+* inserting an *open* OSR point and generating its stub;
+* inserting a *resolved* OSR point (target = clone of the function) and
+  generating the continuation function, reported both in total and
+  normalized per IR instruction of the target.
+
+As in the paper, these are one-shot IR manipulation costs, to be compared
+against the (much larger) cost of JIT-compiling the continuation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional
+
+from ..core import (
+    HotCounterCondition,
+    insert_open_osr_point,
+    insert_resolved_osr_point,
+)
+from ..shootout import SUITE, all_benchmarks, compile_benchmark
+from ..vm import ExecutionEngine
+from .sites import q1_locations
+
+
+class Q3Row(NamedTuple):
+    benchmark: str
+    level: str
+    ir_size: int              #: |IR| of the instrumented function
+    open_insert: float        #: seconds: insert open point (incl. cond)
+    open_stub: float          #: seconds: generate the stub
+    resolved_insert: float    #: seconds: insert resolved point (w/o cont)
+    resolved_total: float     #: seconds: generate f'_to
+    cont_size: int            #: |IR| of the generated continuation
+
+    @property
+    def per_instruction(self) -> float:
+        """Continuation generation time per IR instruction of the target."""
+        return self.resolved_total / self.cont_size if self.cont_size else 0.0
+
+
+def _dummy_generator(f, block, env, val):  # pragma: no cover
+    raise AssertionError("Q3 never fires OSR points")
+
+
+def run_q3(level: str = "optimized",
+           names: Optional[List[str]] = None) -> List[Q3Row]:
+    rows: List[Q3Row] = []
+    benchmarks = all_benchmarks() if names is None else [
+        SUITE[name] for name in names
+    ]
+    for benchmark in benchmarks:
+        # --- open OSR: time point insertion + stub generation -----------------
+        open_module = compile_benchmark(benchmark, level)
+        open_engine = ExecutionEngine(open_module, tier="jit")
+        location = q1_locations(open_module, benchmark)[0]
+        func = location.function
+        ir_size = func.instruction_count
+
+        start = time.perf_counter()
+        open_result = insert_open_osr_point(
+            func, location,
+            HotCounterCondition(HotCounterCondition.NEVER),
+            _dummy_generator, open_engine, val=None,
+        )
+        open_total = time.perf_counter() - start
+        # Apportion: the stub is a few fixed instructions; measure its
+        # regeneration separately for the split the paper reports.
+        from ..core.instrument import build_open_osr_stub
+
+        start = time.perf_counter()
+        build_open_osr_stub(
+            open_result.function, open_result.continuation_block,
+            open_result.live_values, _dummy_generator, None, open_engine,
+            stub_name=f"{func.name}.stub.q3",
+        )
+        open_stub = time.perf_counter() - start
+        open_insert = max(open_total - open_stub, 0.0)
+
+        # --- resolved OSR: time insertion + continuation generation ------------
+        res_module = compile_benchmark(benchmark, level)
+        res_engine = ExecutionEngine(res_module, tier="jit")
+        location = q1_locations(res_module, benchmark)[0]
+        func = location.function
+
+        start = time.perf_counter()
+        res_result = insert_resolved_osr_point(
+            func, location,
+            HotCounterCondition(HotCounterCondition.NEVER),
+            engine=res_engine,
+        )
+        resolved_total_all = time.perf_counter() - start
+        cont_size = res_result.continuation.instruction_count
+
+        # re-measure the continuation generation alone on a fresh copy
+        from ..core.continuation import generate_continuation
+        from ..core.statemap import StateMapping
+        from ..transform.clone import clone_function
+
+        variant2, _vmap2 = clone_function(
+            res_result.variant,
+            res_module.unique_name(f"{func.name}.q3var"),
+        )
+        landing2 = variant2.get_block(res_result.continuation_block.name)
+        start = time.perf_counter()
+        generate_continuation(
+            variant2, landing2, res_result.live_values,
+            _identity_mapping_for(variant2, landing2, res_result.live_values),
+            name=f"{func.name}.q3cont", module=res_module,
+        )
+        resolved_cont = time.perf_counter() - start
+        resolved_insert = max(resolved_total_all - resolved_cont, 0.0)
+
+        rows.append(Q3Row(
+            benchmark.name, level, ir_size,
+            open_insert, open_stub,
+            resolved_insert, resolved_cont, cont_size,
+        ))
+    return rows
+
+
+def _identity_mapping_for(variant2, landing, live_values):
+    """Rebuild the identity mapping for the re-cloned variant.
+
+    Both the transferred live-value list and the landing's required state
+    are produced by the same deterministic liveness ordering (arguments
+    first, then layout order), and cloning preserves structure — so the
+    two sequences correspond positionally.
+    """
+    from ..core.continuation import required_landing_state
+    from ..core.statemap import FromParam, StateMapping
+
+    required = required_landing_state(variant2, landing)
+    if len(required) != len(live_values):
+        raise AssertionError(
+            f"Q3 identity mapping arity mismatch: {len(required)} landing "
+            f"values vs {len(live_values)} transferred"
+        )
+    mapping = StateMapping()
+    for index, value in enumerate(required):
+        mapping.set(value, FromParam(index))
+    return mapping
+
+
+def format_q3(rows: List[Q3Row]) -> str:
+    """Render rows the way Table 3 reports them (times in microseconds)."""
+    lines = [
+        "Q3: OSR machinery insertion",
+        f"{'benchmark':<14} {'|IR|':>5} | {'open: insert':>13} "
+        f"{'gen stub':>9} | {'res: insert':>12} {'gen f_to':>9} "
+        f"{'avg/inst':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<14} {row.ir_size:>5} | "
+            f"{row.open_insert * 1e6:>10.1f} us {row.open_stub * 1e6:>6.1f} us | "
+            f"{row.resolved_insert * 1e6:>9.1f} us "
+            f"{row.resolved_total * 1e6:>6.1f} us "
+            f"{row.per_instruction * 1e6:>6.2f} us"
+        )
+    return "\n".join(lines)

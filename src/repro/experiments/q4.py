@@ -1,0 +1,109 @@
+"""Q4 — feval optimization speedups in the mini-McVM (paper Table 4).
+
+For each MATLAB benchmark, five configurations:
+
+* **base (JIT)** — the default feval dispatcher; the dispatcher
+  JIT-compiles the invoked function during the run (this is the 1.0x
+  baseline);
+* **base (cached)** — dispatcher calls a previously compiled function;
+* **optimized (JIT)** — the OSR-based IIR-level specializer, paying
+  continuation generation during the run;
+* **optimized (cached)** — the continuation comes from the code cache;
+* **direct (by hand)** — feval replaced with direct calls in the source
+  (the upper bound).
+
+Speedups are reported against base (JIT), as in Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from ..mcvm import McVM, q4_order
+from ..mcvm.programs import Q4_BENCHMARKS, McBenchmark
+from .stats import TimingResult, time_run
+
+
+class Q4Row(NamedTuple):
+    benchmark: str
+    base_jit: TimingResult
+    base_cached: TimingResult
+    optimized_jit: TimingResult
+    optimized_cached: TimingResult
+    direct: TimingResult
+
+    def speedups(self) -> Dict[str, float]:
+        """Speedups over the base (JIT) configuration, Table 4 style
+        (best-trial based, robust to interference)."""
+        baseline = self.base_jit.best
+        return {
+            "base (cached)": baseline / self.base_cached.best,
+            "optimized (JIT)": baseline / self.optimized_jit.best,
+            "optimized (cached)": baseline / self.optimized_cached.best,
+            "direct (by hand)": baseline / self.direct.best,
+        }
+
+
+def _time_vm(benchmark: McBenchmark, source: str, enable_osr: bool,
+             cached: bool, trials: int) -> TimingResult:
+    vm = McVM(source, enable_osr=enable_osr)
+    steps = benchmark.steps
+
+    if cached:
+        # warm every cache (compiled versions, dispatch targets, OSR
+        # continuations), then time steady-state runs
+        vm.run(benchmark.entry, steps)
+        return time_run(lambda: vm.run(benchmark.entry, steps),
+                        trials=trials, warmup=1)
+
+    # "JIT" configuration: pay feval-related compilation inside the run.
+    # The entry function itself stays compiled (the paper times the
+    # dispatcher/optimizer work, not the whole-program pipeline).
+    vm.run(benchmark.entry, steps)
+
+    def run_with_cold_feval():
+        vm.clear_feval_caches()
+        return vm.run(benchmark.entry, steps)
+
+    return time_run(run_with_cold_feval, trials=trials, warmup=1)
+
+
+def run_q4(trials: int = 3, names: Optional[List[str]] = None) -> List[Q4Row]:
+    rows: List[Q4Row] = []
+    benchmarks = q4_order() if names is None else [
+        Q4_BENCHMARKS[name] for name in names
+    ]
+    for benchmark in benchmarks:
+        rows.append(Q4Row(
+            benchmark.name,
+            base_jit=_time_vm(benchmark, benchmark.source, False, False,
+                              trials),
+            base_cached=_time_vm(benchmark, benchmark.source, False, True,
+                                 trials),
+            optimized_jit=_time_vm(benchmark, benchmark.source, True, False,
+                                   trials),
+            optimized_cached=_time_vm(benchmark, benchmark.source, True,
+                                      True, trials),
+            direct=_time_vm(benchmark, benchmark.direct_source, False, True,
+                            trials),
+        ))
+    return rows
+
+
+def format_q4(rows: List[Q4Row]) -> str:
+    """Render rows the way Table 4 reports them (speedup vs base JIT)."""
+    lines = [
+        "Q4: speedup comparison for feval optimization "
+        "(baseline: default dispatcher, JIT)",
+        f"{'benchmark':<10} {'base(cached)':>13} {'opt(JIT)':>10} "
+        f"{'opt(cached)':>12} {'direct':>8}",
+    ]
+    for row in rows:
+        sp = row.speedups()
+        lines.append(
+            f"{row.benchmark:<10} {sp['base (cached)']:>12.3f}x "
+            f"{sp['optimized (JIT)']:>9.3f}x "
+            f"{sp['optimized (cached)']:>11.3f}x "
+            f"{sp['direct (by hand)']:>7.3f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""OSR site selection for the Q1-Q3 experiments.
+
+Mirrors the paper's methodology (Section 5.2):
+
+* *iterative* benchmarks get their OSR point in the body of the hottest
+  loop — we take the innermost (deepest-nesting) natural loop of the
+  designated hot function and instrument the first instruction of its
+  header, which is checked once per iteration exactly like a loop-body
+  point;
+* *recursive* benchmarks (b-trees) get the OSR point at the entry of the
+  method with the highest self time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.loops import Loop, LoopInfo
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+
+
+def hottest_loop(func: Function) -> Optional[Loop]:
+    """The deepest-nesting natural loop of the function, or None."""
+    info = LoopInfo(func)
+    if not info.loops:
+        return None
+    return max(info.loops, key=lambda l: (l.depth, -len(l.blocks)))
+
+
+def loop_osr_location(func: Function) -> Instruction:
+    """The per-iteration OSR location: first instruction of the hottest
+    loop's header (falls back to function entry when loop-free)."""
+    loop = hottest_loop(func)
+    if loop is None:
+        return entry_osr_location(func)
+    header = loop.header
+    return header.instructions[header.first_non_phi_index]
+
+
+def entry_osr_location(func: Function) -> Instruction:
+    """The method-entry OSR location (recursive benchmarks, Q2 helpers)."""
+    entry = func.entry
+    return entry.instructions[entry.first_non_phi_index]
+
+
+def q1_locations(module, benchmark) -> List[Instruction]:
+    """OSR locations for the Q1 never-firing experiment."""
+    locations: List[Instruction] = []
+    for name in benchmark.q1_functions:
+        func = module.get_function(name)
+        if benchmark.pattern == "recursive":
+            locations.append(entry_osr_location(func))
+        else:
+            locations.append(loop_osr_location(func))
+    return locations
+
+
+def q2_location(module, benchmark) -> Instruction:
+    """OSR location for the Q2 transition-cost experiment: the entry of
+    the per-iteration method."""
+    func = module.get_function(benchmark.q2_function)
+    return entry_osr_location(func)

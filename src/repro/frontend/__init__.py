@@ -1,0 +1,25 @@
+"""repro.frontend — a mini-C front-end (the clang substitute).
+
+Compiles the C subset the shootout benchmark suite is written in down to
+repro IR, producing clang -O0-style alloca-based code that the standard
+pipelines then optimize (``mem2reg`` for the paper's *unoptimized* tier,
+the -O1-like pipeline for *optimized*).
+"""
+
+from .cast import CType, Program
+from .codegen import BUILTINS, CodegenError, CodeGenerator, compile_c
+from .lexer import LexError, tokenize
+from .parser import CParseError, parse_c
+
+__all__ = [
+    "compile_c",
+    "CodeGenerator",
+    "CodegenError",
+    "BUILTINS",
+    "parse_c",
+    "CParseError",
+    "tokenize",
+    "LexError",
+    "CType",
+    "Program",
+]

@@ -1,0 +1,205 @@
+"""Lexer for the mini-C front-end.
+
+Tokenizes the C subset the shootout benchmarks are written in: scalar
+types, pointers, arrays, control flow, function definitions and calls,
+the usual operator zoo, string/char literals and both comment styles.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+KEYWORDS = {
+    "long", "int", "char", "double", "float", "void", "unsigned",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "sizeof", "struct", "const", "static",
+}
+
+#: multi-character operators, longest first so maximal munch works
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+
+class Token(NamedTuple):
+    kind: str       # 'kw' | 'ident' | 'int' | 'float' | 'string' | 'char' | 'op' | 'eof'
+    text: str
+    line: int
+    value: object = None
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII-only digit test (str.isdigit accepts Unicode digits that
+    int()/float() reject, e.g. superscripts — found by fuzzing)."""
+    return "0" <= ch <= "9"
+
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = end if end != -1 else n
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if _is_digit(ch) or (ch == "." and i + 1 < n and _is_digit(source[i + 1])):
+            i, token = _lex_number(source, i, line)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch == '"':
+            i, token = _lex_string(source, i, line)
+            tokens.append(token)
+            continue
+        if ch == "'":
+            i, token = _lex_char(source, i, line)
+            tokens.append(token)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _lex_number(source: str, i: int, line: int):
+    n = len(source)
+    start = i
+    is_float = False
+    if source.startswith("0x", i) or source.startswith("0X", i):
+        i += 2
+        digits_start = i
+        while i < n and (_is_digit(source[i]) or source[i] in "abcdefABCDEF"):
+            i += 1
+        if i == digits_start:
+            raise LexError("hex literal needs at least one digit", line)
+        return i, Token("int", source[start:i], line, int(source[start:i], 16))
+    while i < n and _is_digit(source[i]):
+        i += 1
+    if i < n and source[i] == ".":
+        is_float = True
+        i += 1
+        while i < n and _is_digit(source[i]):
+            i += 1
+    if i < n and source[i] in "eE":
+        is_float = True
+        i += 1
+        if i < n and source[i] in "+-":
+            i += 1
+        while i < n and _is_digit(source[i]):
+            i += 1
+    text = source[start:i]
+    # C suffixes (L, U, f) are accepted and ignored
+    while i < n and source[i] in "lLuUfF":
+        if source[i] in "fF":
+            is_float = True
+        i += 1
+    if is_float:
+        return i, Token("float", text, line, float(text))
+    return i, Token("int", text, line, int(text))
+
+
+def _lex_string(source: str, i: int, line: int):
+    n = len(source)
+    i += 1
+    out = bytearray()
+    while i < n and source[i] != '"':
+        ch = source[i]
+        if ch == "\n":
+            raise LexError("newline in string literal", line)
+        if ch == "\\":
+            i += 1
+            if i >= n:
+                raise LexError("bad escape", line)
+            esc = source[i]
+            if esc == "x":
+                hex_digits = source[i + 1:i + 3]
+                try:
+                    out.append(int(hex_digits, 16))
+                except ValueError:
+                    raise LexError(f"bad hex escape \\x{hex_digits}",
+                                   line) from None
+                i += 2
+            elif esc in _ESCAPES:
+                out.append(_ESCAPES[esc])
+            else:
+                raise LexError(f"unknown escape \\{esc}", line)
+        else:
+            out.append(ord(ch))
+        i += 1
+    if i >= n:
+        raise LexError("unterminated string literal", line)
+    return i + 1, Token("string", source[:0], line, bytes(out))
+
+
+def _lex_char(source: str, i: int, line: int):
+    n = len(source)
+    i += 1
+    if i >= n:
+        raise LexError("unterminated char literal", line)
+    if source[i] == "\\":
+        i += 1
+        if i >= n:
+            raise LexError("unterminated char literal", line)
+        esc = source[i]
+        if esc == "x":
+            try:
+                value = int(source[i + 1:i + 3], 16)
+            except ValueError:
+                raise LexError("bad hex escape in char literal",
+                               line) from None
+            i += 2
+        elif esc in _ESCAPES:
+            value = _ESCAPES[esc]
+        else:
+            raise LexError(f"unknown escape \\{esc}", line)
+    else:
+        value = ord(source[i])
+    i += 1
+    if i >= n or source[i] != "'":
+        raise LexError("unterminated char literal", line)
+    return i + 1, Token("char", "", line, value)

@@ -1,0 +1,424 @@
+"""Recursive-descent parser for the mini-C front-end.
+
+Standard C expression grammar with precedence climbing; the statement and
+declaration syntax covers what the shootout benchmark sources need.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cast import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    Continue,
+    CType,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Param,
+    Program,
+    Return,
+    SizeOf,
+    Stmt,
+    StringLit,
+    Ternary,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+)
+from .lexer import Token, tokenize
+
+_TYPE_KEYWORDS = {"long", "int", "char", "double", "float", "void", "unsigned"}
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class CParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class CParser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- stream helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind in ("op", "kw"):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise CParseError(f"expected {text!r}, found {tok.text!r}", tok.line)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise CParseError(f"expected identifier, found {tok.text!r}", tok.line)
+        return tok
+
+    # -- types -------------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        if tok.kind != "kw":
+            return False
+        if tok.text in ("const", "static"):
+            return True
+        return tok.text in _TYPE_KEYWORDS
+
+    def parse_type(self) -> CType:
+        while self.peek().text in ("const", "static"):
+            self.next()
+        tok = self.next()
+        if tok.text not in _TYPE_KEYWORDS:
+            raise CParseError(f"expected type, found {tok.text!r}", tok.line)
+        base = tok.text
+        if base == "unsigned":
+            # 'unsigned' may be followed by a width keyword
+            if self.peek().text in ("long", "int", "char"):
+                self.next()
+        pointers = 0
+        while self.accept("*"):
+            while self.peek().text == "const":
+                self.next()
+            pointers += 1
+        return CType(base, pointers)
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        functions: List[FuncDef] = []
+        globals_: List[GlobalDecl] = []
+        while self.peek().kind != "eof":
+            line = self.peek().line
+            ctype = self.parse_type()
+            name = self.expect_ident().text
+            if self.peek().text == "(":
+                functions.append(self._parse_function(ctype, name, line))
+            else:
+                globals_.append(self._parse_global(ctype, name, line))
+        return Program(functions, globals_)
+
+    def _parse_function(self, return_type: CType, name: str,
+                        line: int) -> FuncDef:
+        self.expect("(")
+        params: List[Param] = []
+        if self.peek().text != ")":
+            if self.peek().text == "void" and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    ptype = self.parse_type()
+                    pname = self.expect_ident()
+                    params.append(Param(ptype, pname.text, pname.line))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            return FuncDef(return_type, name, params, None, line)
+        body = self.parse_block()
+        return FuncDef(return_type, name, params, body, line)
+
+    def _parse_global(self, ctype: CType, name: str, line: int) -> GlobalDecl:
+        array_size: Optional[int] = None
+        init = None
+        if self.accept("["):
+            size_tok = self.next()
+            if size_tok.kind != "int":
+                raise CParseError("global array size must be constant",
+                                  size_tok.line)
+            array_size = size_tok.value
+            self.expect("]")
+        if self.accept("="):
+            if self.peek().kind == "string":
+                init = self.next().value
+            else:
+                init = self.parse_expression()
+        self.expect(";")
+        return GlobalDecl(ctype, name, init, array_size, line)
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_block(self) -> Block:
+        open_tok = self.expect("{")
+        statements: List[Stmt] = []
+        while self.peek().text != "}":
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return Block(statements, open_tok.line)
+
+    def parse_statement(self) -> Stmt:
+        tok = self.peek()
+        if tok.text == "{":
+            return self.parse_block()
+        if tok.text == "if":
+            return self._parse_if()
+        if tok.text == "while":
+            return self._parse_while()
+        if tok.text == "do":
+            return self._parse_do_while()
+        if tok.text == "for":
+            return self._parse_for()
+        if tok.text == "return":
+            self.next()
+            value = None
+            if self.peek().text != ";":
+                value = self.parse_expression()
+            self.expect(";")
+            return Return(value, tok.line)
+        if tok.text == "break":
+            self.next()
+            self.expect(";")
+            return Break(tok.line)
+        if tok.text == "continue":
+            self.next()
+            self.expect(";")
+            return Continue(tok.line)
+        if self.at_type():
+            return self._parse_var_decl()
+        expr = self.parse_expression()
+        self.expect(";")
+        return ExprStmt(expr, tok.line)
+
+    def _parse_var_decl(self) -> Stmt:
+        line = self.peek().line
+        ctype = self.parse_type()
+        decls: List[Stmt] = []
+        while True:
+            extra_pointers = 0
+            while self.accept("*"):
+                extra_pointers += 1
+            name = self.expect_ident().text
+            this_type = CType(ctype.base, ctype.pointers + extra_pointers)
+            array_size: Optional[int] = None
+            init: Optional[Expr] = None
+            if self.accept("["):
+                size_tok = self.next()
+                if size_tok.kind != "int":
+                    raise CParseError("array size must be an integer literal",
+                                      size_tok.line)
+                array_size = size_tok.value
+                self.expect("]")
+            if self.accept("="):
+                init = self.parse_assignment()
+            decls.append(VarDecl(this_type, name, init, array_size, line))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return Block(decls, line)
+
+    def _parse_if(self) -> If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("else"):
+            otherwise = self.parse_statement()
+        return If(cond, then, otherwise, tok.line)
+
+    def _parse_while(self) -> While:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return While(cond, body, tok.line)
+
+    def _parse_do_while(self) -> DoWhile:
+        tok = self.expect("do")
+        body = self.parse_statement()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return DoWhile(cond, body, tok.line)
+
+    def _parse_for(self) -> For:
+        tok = self.expect("for")
+        self.expect("(")
+        init: Optional[Stmt] = None
+        if self.peek().text != ";":
+            if self.at_type():
+                init = self._parse_var_decl()  # consumes the ';'
+            else:
+                expr = self.parse_expression()
+                self.expect(";")
+                init = ExprStmt(expr, tok.line)
+        else:
+            self.expect(";")
+        cond: Optional[Expr] = None
+        if self.peek().text != ";":
+            cond = self.parse_expression()
+        self.expect(";")
+        step: Optional[Expr] = None
+        if self.peek().text != ")":
+            step = self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return For(init, cond, step, body, tok.line)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            # comma operator: evaluate both, keep the right
+            rhs = self.parse_assignment()
+            expr = Binary(",", expr, rhs, rhs.line)
+        return expr
+
+    def parse_assignment(self) -> Expr:
+        expr = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return Assign(tok.text, expr, value, tok.line)
+        return expr
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(1)
+        if self.accept("?"):
+            if_true = self.parse_assignment()
+            self.expect(":")
+            if_false = self.parse_assignment()
+            return Ternary(cond, if_true, if_false, cond.line)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            lhs = Binary(tok.text, lhs, rhs, tok.line)
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            return Unary(tok.text, self.parse_unary(), tok.line)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            return Unary(tok.text, self.parse_unary(), tok.line)
+        if tok.text == "sizeof":
+            self.next()
+            self.expect("(")
+            target = self.parse_type()
+            self.expect(")")
+            return SizeOf(target, tok.line)
+        if tok.text == "(" and self._at_cast():
+            self.next()
+            target = self.parse_type()
+            self.expect(")")
+            return CastExpr(target, self.parse_unary(), tok.line)
+        return self.parse_postfix()
+
+    def _at_cast(self) -> bool:
+        nxt = self.peek(1)
+        return nxt.kind == "kw" and (
+            nxt.text in _TYPE_KEYWORDS or nxt.text == "const"
+        )
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = Index(expr, index, tok.line)
+            elif tok.text == "++":
+                self.next()
+                expr = Unary("p++", expr, tok.line)
+            elif tok.text == "--":
+                self.next()
+                expr = Unary("p--", expr, tok.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return IntLit(tok.value, tok.line)
+        if tok.kind == "float":
+            return FloatLit(tok.value, tok.line)
+        if tok.kind == "char":
+            return IntLit(tok.value, tok.line)
+        if tok.kind == "string":
+            return StringLit(tok.value, tok.line)
+        if tok.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: List[Expr] = []
+                if self.peek().text != ")":
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return Call(tok.text, args, tok.line)
+            return Var(tok.text, tok.line)
+        if tok.text == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise CParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse_c(source: str) -> Program:
+    """Parse mini-C source text into an AST."""
+    return CParser(source).parse_program()

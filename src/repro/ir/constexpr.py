@@ -1,0 +1,36 @@
+"""Constant expressions.
+
+The only constant expression the OSR machinery needs is ``inttoptr``:
+open-OSR stubs hard-wire run-time addresses (of the code generator, the
+base function's IR object, the OSR basic block, ...) into the IR exactly
+as the paper's Figure 6 shows::
+
+    i8* inttoptr (i64 46993664 to i8*)
+
+In our VM these integers are handles into the execution engine's object
+table rather than raw machine addresses, but the IR shape is the same.
+"""
+
+from __future__ import annotations
+
+from .types import Type
+from .values import Constant
+
+
+class ConstantIntToPtr(Constant):
+    """``inttoptr (i64 <value> to <type>)`` — an address baked into the IR."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: Type, value: int):
+        if not type.is_pointer:
+            raise TypeError(f"inttoptr target must be a pointer, got {type}")
+        super().__init__(type)
+        self.value = int(value)
+
+    @property
+    def ref(self) -> str:
+        return f"inttoptr (i64 {self.value} to {self.type})"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ConstantIntToPtr {self.value} to {self.type}>"

@@ -1,0 +1,313 @@
+"""Type system for the repro IR.
+
+The IR is typed in the style of LLVM: first-class integer, floating point,
+pointer, array, struct, function and void types.  Types are immutable and
+interned so that structural equality coincides with identity for the common
+scalar types, which keeps type checks in the verifier and interpreter cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    #: cached singletons for interned types, keyed by a structural tag
+    _interned: Dict[object, "Type"] = {}
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            isinstance(other, Type) and self._key() == other._key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> object:
+        raise NotImplementedError
+
+    # -- convenience predicates -------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    @property
+    def is_first_class(self) -> bool:
+        """First-class types may be produced by instructions and passed
+        as arguments (everything except void and bare function types)."""
+        return not isinstance(self, (VoidType, FunctionType))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    """The type of functions that return no value."""
+
+    def _key(self) -> object:
+        return ("void",)
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    """The type of basic-block labels (only valid as branch targets)."""
+
+    def _key(self) -> object:
+        return ("label",)
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class IntType(Type):
+    """An integer type of arbitrary bit width, e.g. ``i1``, ``i32``, ``i64``.
+
+    Values of width ``n`` are canonically stored as Python ints in the
+    signed range ``[-2**(n-1), 2**(n-1) - 1]``; wrap-around semantics are
+    applied by the interpreter/JIT on arithmetic.
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits <= 0:
+            raise ValueError(f"integer bit width must be positive, got {bits}")
+        self.bits = bits
+
+    def _key(self) -> object:
+        return ("int", self.bits)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        """Smallest canonical value (i1 is canonically 0/1, not 0/-1)."""
+        if self.bits == 1:
+            return 0
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        if self.bits == 1:
+            return 1
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python int into this type's canonical range.
+
+        Canonical means two's-complement signed, except for ``i1`` which is
+        stored as 0/1 so that boolean results read naturally.
+        """
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value > (mask >> 1):
+            value -= mask + 1
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        """Reinterpret a canonical (signed) value as unsigned."""
+        return value & ((1 << self.bits) - 1)
+
+
+class FloatType(Type):
+    """A floating-point type: ``float`` (32-bit) or ``double`` (64-bit)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int):
+        if bits not in (32, 64):
+            raise ValueError(f"float width must be 32 or 64, got {bits}")
+        self.bits = bits
+
+    def _key(self) -> object:
+        return ("float", self.bits)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    """A typed pointer, e.g. ``i64*`` or ``i8*``.
+
+    Pointers in the VM are (segment, offset) handles into the runtime memory
+    model, but the IR-level type carries the pointee for GEP/load/store
+    type checking, like pre-opaque-pointer LLVM.
+    """
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        if isinstance(pointee, VoidType):
+            raise ValueError("cannot form pointer to void; use i8*")
+        self.pointee = pointee
+
+    def _key(self) -> object:
+        return ("ptr", self.pointee._key())
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A fixed-size array, e.g. ``[16 x i8]``."""
+
+    __slots__ = ("count", "element")
+
+    def __init__(self, count: int, element: Type):
+        if count < 0:
+            raise ValueError(f"array count must be non-negative, got {count}")
+        if not element.is_first_class and not element.is_aggregate:
+            raise ValueError(f"invalid array element type {element}")
+        self.count = count
+        self.element = element
+
+    def _key(self) -> object:
+        return ("array", self.count, self.element._key())
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class StructType(Type):
+    """An anonymous structural struct type, e.g. ``{ i8*, i8*, i64 }``.
+
+    Named (identified) structs carry a name used for printing; equality for
+    named structs is by name, matching LLVM's identified struct semantics.
+    """
+
+    __slots__ = ("fields", "name")
+
+    def __init__(self, fields: Sequence[Type], name: Optional[str] = None):
+        self.fields: Tuple[Type, ...] = tuple(fields)
+        self.name = name
+
+    def _key(self) -> object:
+        if self.name is not None:
+            return ("struct-named", self.name)
+        return ("struct", tuple(f._key() for f in self.fields))
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f"%{self.name}"
+        inner = ", ".join(str(f) for f in self.fields)
+        return "{ " + inner + " }"
+
+
+class FunctionType(Type):
+    """A function signature: return type plus parameter types."""
+
+    __slots__ = ("return_type", "params", "vararg")
+
+    def __init__(
+        self,
+        return_type: Type,
+        params: Iterable[Type] = (),
+        vararg: bool = False,
+    ):
+        self.return_type = return_type
+        self.params: Tuple[Type, ...] = tuple(params)
+        self.vararg = vararg
+        for p in self.params:
+            if not p.is_first_class:
+                raise ValueError(f"invalid parameter type {p}")
+
+    def _key(self) -> object:
+        return (
+            "func",
+            self.return_type._key(),
+            tuple(p._key() for p in self.params),
+            self.vararg,
+        )
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.vararg:
+            parts.append("...")
+        return f"{self.return_type} ({', '.join(parts)})"
+
+
+# ---------------------------------------------------------------------------
+# Interned common types.  Using module-level singletons keeps user code terse:
+# ``from repro.ir.types import i64, ptr(i64)``.
+# ---------------------------------------------------------------------------
+
+void = VoidType()
+label = LabelType()
+i1 = IntType(1)
+i8 = IntType(8)
+i16 = IntType(16)
+i32 = IntType(32)
+i64 = IntType(64)
+f32 = FloatType(32)
+f64 = FloatType(64)
+
+
+def int_type(bits: int) -> IntType:
+    """Return the integer type of the given width (interned for common ones)."""
+    common = {1: i1, 8: i8, 16: i16, 32: i32, 64: i64}
+    return common.get(bits) or IntType(bits)
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def array(count: int, element: Type) -> ArrayType:
+    """Shorthand for :class:`ArrayType`."""
+    return ArrayType(count, element)
+
+
+def struct(*fields: Type, name: Optional[str] = None) -> StructType:
+    """Shorthand for :class:`StructType`."""
+    return StructType(fields, name=name)
+
+
+def function(return_type: Type, *params: Type, vararg: bool = False) -> FunctionType:
+    """Shorthand for :class:`FunctionType`."""
+    return FunctionType(return_type, params, vararg=vararg)
+
+
+def size_of(ty: Type) -> int:
+    """Byte size of a type in the VM's memory model (pointers are 8 bytes)."""
+    if isinstance(ty, IntType):
+        return max(1, (ty.bits + 7) // 8)
+    if isinstance(ty, FloatType):
+        return ty.bits // 8
+    if isinstance(ty, PointerType):
+        return 8
+    if isinstance(ty, ArrayType):
+        return ty.count * size_of(ty.element)
+    if isinstance(ty, StructType):
+        return sum(size_of(f) for f in ty.fields)
+    raise ValueError(f"type {ty} has no size")

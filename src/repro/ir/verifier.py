@@ -1,0 +1,266 @@
+"""IR verifier.
+
+Checks the structural invariants that every well-formed function must
+satisfy — the same family of checks LLVM's verifier performs.  The OSR
+instrumentation passes promise to keep functions verifier-clean, and the
+test suite holds them to it:
+
+* every block has exactly one terminator, at the end;
+* phis are grouped at block start and have exactly one incoming entry per
+  CFG predecessor (and none for non-predecessors);
+* every instruction's operands are defined in a block that dominates the
+  use (SSA dominance property);
+* operand types match instruction signatures (enforced structurally at
+  construction, re-checked here);
+* `ret` types match the function signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .function import BasicBlock, Function, Module
+from .instructions import Instruction, PhiInst, RetInst, TerminatorInst
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    """Raised when a function violates an IR invariant."""
+
+    def __init__(self, function: Function, problems: List[str]):
+        self.function = function
+        self.problems = problems
+        details = "\n  ".join(problems)
+        super().__init__(
+            f"function @{function.name} failed verification:\n  {details}"
+        )
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` if the function is malformed."""
+    problems = collect_problems(func)
+    if problems:
+        raise VerificationError(func, problems)
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions:
+        if not func.is_declaration:
+            verify_function(func)
+
+
+def collect_problems(func: Function) -> List[str]:
+    """Return a list of human-readable invariant violations (empty if OK)."""
+    problems: List[str] = []
+    if func.is_declaration:
+        return problems
+
+    blocks = func.blocks
+    block_set = set(id(b) for b in blocks)
+
+    # -- block-level structure ---------------------------------------------
+    for block in blocks:
+        instructions = block.instructions
+        if not instructions:
+            problems.append(f"block %{block.name} is empty")
+            continue
+        terminator = instructions[-1]
+        if not terminator.is_terminator:
+            problems.append(f"block %{block.name} lacks a terminator")
+        for inst in instructions[:-1]:
+            if inst.is_terminator:
+                problems.append(
+                    f"block %{block.name} has a terminator "
+                    f"({inst.opcode}) before its end"
+                )
+        seen_non_phi = False
+        for inst in instructions:
+            if inst.is_phi:
+                if seen_non_phi:
+                    problems.append(
+                        f"phi %{inst.name} in %{block.name} after non-phi"
+                    )
+            else:
+                seen_non_phi = True
+        for inst in instructions:
+            if inst.parent is not block:
+                problems.append(
+                    f"instruction %{inst.name} has wrong parent link"
+                )
+
+    # -- successor sanity -----------------------------------------------------
+    for block in blocks:
+        for succ in block.successors():
+            if id(succ) not in block_set:
+                problems.append(
+                    f"block %{block.name} branches to %{succ.name}, "
+                    f"which is not in the function"
+                )
+
+    # -- phi / predecessor agreement -------------------------------------------
+    preds: Dict[int, List[BasicBlock]] = {id(b): [] for b in blocks}
+    for block in blocks:
+        for succ in block.successors():
+            if id(succ) in preds and block not in preds[id(succ)]:
+                preds[id(succ)].append(block)
+
+    for block in blocks:
+        block_preds = preds[id(block)]
+        for phi in block.phis:
+            incoming_blocks = phi.incoming_blocks
+            for pred in block_preds:
+                count = sum(1 for b in incoming_blocks if b is pred)
+                if count == 0:
+                    problems.append(
+                        f"phi %{phi.name} in %{block.name} missing incoming "
+                        f"for predecessor %{pred.name}"
+                    )
+                elif count > 1:
+                    problems.append(
+                        f"phi %{phi.name} in %{block.name} has {count} "
+                        f"entries for predecessor %{pred.name}"
+                    )
+            for b in incoming_blocks:
+                if b not in block_preds:
+                    problems.append(
+                        f"phi %{phi.name} in %{block.name} has incoming from "
+                        f"non-predecessor %{b.name}"
+                    )
+
+    # -- return types --------------------------------------------------------------
+    for block in blocks:
+        term = block.terminator
+        if isinstance(term, RetInst):
+            if func.return_type.is_void:
+                if term.value is not None:
+                    problems.append(
+                        f"ret with value in void function (block %{block.name})"
+                    )
+            else:
+                if term.value is None:
+                    problems.append(
+                        f"ret void in non-void function (block %{block.name})"
+                    )
+                elif term.value.type != func.return_type:
+                    problems.append(
+                        f"ret type {term.value.type} != function return "
+                        f"type {func.return_type}"
+                    )
+
+    # -- SSA dominance --------------------------------------------------------------
+    problems.extend(_check_dominance(func, preds))
+    return problems
+
+
+def _check_dominance(
+    func: Function, preds: Dict[int, List[BasicBlock]]
+) -> List[str]:
+    """Check that each use is dominated by its definition.
+
+    Implemented directly (iterative dominator dataflow on block sets) so the
+    verifier does not depend on :mod:`repro.analysis`, which itself assumes
+    verified input.
+    """
+    problems: List[str] = []
+    blocks = func.blocks
+    if not blocks:
+        return problems
+    entry = blocks[0]
+
+    # reachable blocks only: dominance is defined over reachable code
+    reachable: Set[int] = set()
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        stack.extend(block.successors())
+
+    index = {id(b): i for i, b in enumerate(blocks)}
+    all_reachable = [b for b in blocks if id(b) in reachable]
+    universe = set(id(b) for b in all_reachable)
+    dom: Dict[int, Set[int]] = {id(b): set(universe) for b in all_reachable}
+    dom[id(entry)] = {id(entry)}
+    changed = True
+    while changed:
+        changed = False
+        for block in all_reachable:
+            if block is entry:
+                continue
+            pred_doms = [
+                dom[id(p)] for p in preds[id(block)] if id(p) in reachable
+            ]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new.add(id(block))
+            if new != dom[id(block)]:
+                dom[id(block)] = new
+                changed = True
+
+    def defined_block(value: Value) -> BasicBlock:
+        assert isinstance(value, Instruction)
+        return value.parent
+
+    positions: Dict[int, int] = {}
+    for block in blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[id(inst)] = i
+
+    for block in all_reachable:
+        for inst in block.instructions:
+            operands = inst.operands
+            if isinstance(inst, PhiInst):
+                # a phi's operand must dominate the *end* of the matching
+                # incoming block, not the phi itself
+                for value, pred in inst.incoming:
+                    if not isinstance(value, Instruction):
+                        continue
+                    if id(pred) not in reachable:
+                        continue
+                    def_block = defined_block(value)
+                    if def_block is None or id(def_block) not in reachable:
+                        problems.append(
+                            f"phi %{inst.name} uses %{value.name} defined in "
+                            f"unreachable/detached code"
+                        )
+                        continue
+                    if id(def_block) not in dom[id(pred)]:
+                        problems.append(
+                            f"phi %{inst.name} incoming %{value.name} from "
+                            f"%{pred.name} not dominated by its definition"
+                        )
+                continue
+            for value in operands:
+                if not isinstance(value, Instruction):
+                    if isinstance(value, (Constant, Argument, BasicBlock)):
+                        continue
+                    problems.append(
+                        f"%{inst.name or inst.opcode} uses non-SSA value "
+                        f"{value!r}"
+                    )
+                    continue
+                def_block = defined_block(value)
+                if def_block is None:
+                    problems.append(
+                        f"%{inst.name or inst.opcode} uses detached "
+                        f"instruction %{value.name}"
+                    )
+                    continue
+                if id(def_block) not in reachable:
+                    problems.append(
+                        f"%{inst.name or inst.opcode} uses %{value.name} "
+                        f"defined in unreachable block %{def_block.name}"
+                    )
+                    continue
+                if def_block is block:
+                    if positions[id(value)] >= positions[id(inst)]:
+                        problems.append(
+                            f"%{inst.name or inst.opcode} uses %{value.name} "
+                            f"before its definition in %{block.name}"
+                        )
+                elif id(def_block) not in dom[id(block)]:
+                    problems.append(
+                        f"use of %{value.name} in %{block.name} not dominated "
+                        f"by its definition in %{def_block.name}"
+                    )
+    return problems

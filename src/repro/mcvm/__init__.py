@@ -1,0 +1,46 @@
+"""repro.mcvm — a mini-McVM: the MATLAB-subset VM of the Q4 case study.
+
+Front-end (MATLAB subset → IIR), type inference with function versioning,
+IIR→IR compiler with boxed/unboxed storage classes, IIR interpreter
+fallback, the generic feval dispatcher, and the paper's OSR-based
+IIR-level feval optimizer with compensation code.
+"""
+
+from .compiler import CompiledVersion, IIRCompiler, McCompileError
+from .feval import (
+    FevalOpportunity,
+    find_feval_opportunities,
+    insert_feval_osr_point,
+    specialize_feval_to_direct,
+)
+from .interpreter import IIRInterpreter, McRuntimeError
+from .mctypes import BOXED, DOUBLE, HANDLE, TypeInference, TypeInfo
+from .parser import McParseError, parse_matlab
+from .programs import Q4_BENCHMARKS, McBenchmark, q4_order
+from .runtime import McBox, McFunctionHandleValue
+from .vm import McVM
+
+__all__ = [
+    "McVM",
+    "parse_matlab",
+    "McParseError",
+    "TypeInference",
+    "TypeInfo",
+    "DOUBLE",
+    "HANDLE",
+    "BOXED",
+    "IIRCompiler",
+    "CompiledVersion",
+    "McCompileError",
+    "IIRInterpreter",
+    "McRuntimeError",
+    "McBox",
+    "McFunctionHandleValue",
+    "find_feval_opportunities",
+    "insert_feval_osr_point",
+    "specialize_feval_to_direct",
+    "FevalOpportunity",
+    "Q4_BENCHMARKS",
+    "McBenchmark",
+    "q4_order",
+]

@@ -1,0 +1,249 @@
+"""IIR node definitions for the mini-McVM.
+
+McVM lowers MATLAB source to IIR ("intermediate internal representation"),
+a tree-shaped IR that keeps the high-level features of the language;
+analyses (type inference, feval optimization) and the IIR→IR compiler all
+work on this form.  Our IIR is a compact statement/expression tree with
+enough structure for the paper's component 1 (the feval analysis pass
+walks it) and component 4a (the optimizer clones it and replaces feval
+calls with direct calls).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+
+class IIRNode:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int):
+        self.line = line
+
+    def clone(self):
+        """Deep copy — the feval optimizer specializes cloned IIR."""
+        return copy.deepcopy(self)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class Expr(IIRNode):
+    __slots__ = ()
+
+
+class Num(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line: int):
+        super().__init__(line)
+        self.value = float(value)
+
+
+class Ident(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int):
+        super().__init__(line)
+        self.name = name
+
+
+class FuncHandle(Expr):
+    """``@name`` — a handle to a named function."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, line: int):
+        super().__init__(line)
+        self.name = name
+
+
+class UnaryOp(Expr):
+    """op in {'-', '~'}."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class BinOp(Expr):
+    """op in {'+','-','*','/','^','<','<=','>','>=','==','~=','&&','||','&','|'}."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line: int):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CallExpr(Expr):
+    """A call of a named function or builtin: ``f(a, b)``."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], line: int):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class FevalExpr(Expr):
+    """``feval(target, args...)`` — the paper's case-study construct."""
+
+    __slots__ = ("target", "args")
+
+    def __init__(self, target: Expr, args: List[Expr], line: int):
+        super().__init__(line)
+        self.target = target
+        self.args = args
+
+
+# -- statements -----------------------------------------------------------------
+
+
+class Stmt(IIRNode):
+    __slots__ = ()
+
+
+class AssignStmt(Stmt):
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Expr, line: int):
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, line: int):
+        super().__init__(line)
+        self.expr = expr
+
+
+class IfStmt(Stmt):
+    """if / elseif* / else chains are nested: ``orelse`` holds either the
+    else body or a single nested IfStmt for elseif."""
+
+    __slots__ = ("cond", "body", "orelse")
+
+    def __init__(self, cond: Expr, body: List[Stmt],
+                 orelse: Optional[List[Stmt]], line: int):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+        self.orelse = orelse
+
+
+class WhileStmt(Stmt):
+    __slots__ = ("cond", "body", "loop_id")
+
+    def __init__(self, cond: Expr, body: List[Stmt], line: int,
+                 loop_id: int = -1):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+        #: stable loop identifier assigned by the parser; the feval
+        #: analysis pass and the OSR inserter use it to correlate IIR
+        #: loops with IR loop-header blocks (paper component 2)
+        self.loop_id = loop_id
+
+
+class ForStmt(Stmt):
+    """``for v = lo : step? : hi`` over scalars."""
+
+    __slots__ = ("var", "lo", "step", "hi", "body", "loop_id")
+
+    def __init__(self, var: str, lo: Expr, step: Optional[Expr], hi: Expr,
+                 body: List[Stmt], line: int, loop_id: int = -1):
+        super().__init__(line)
+        self.var = var
+        self.lo = lo
+        self.step = step
+        self.hi = hi
+        self.body = body
+        self.loop_id = loop_id
+
+
+class BreakStmt(Stmt):
+    __slots__ = ()
+
+
+class ContinueStmt(Stmt):
+    __slots__ = ()
+
+
+class ReturnStmt(Stmt):
+    __slots__ = ()
+
+
+# -- top level ---------------------------------------------------------------------
+
+
+class McFunction(IIRNode):
+    """``function out = name(params) body end``."""
+
+    __slots__ = ("name", "output", "params", "body")
+
+    def __init__(self, name: str, output: Optional[str], params: List[str],
+                 body: List[Stmt], line: int):
+        super().__init__(line)
+        self.name = name
+        self.output = output  # None for procedures
+        self.params = params
+        self.body = body
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<McFunction {self.name}({', '.join(self.params)})>"
+
+
+def walk_statements(body: List[Stmt]):
+    """Yield every statement in a body, recursively."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, IfStmt):
+            yield from walk_statements(stmt.body)
+            if stmt.orelse:
+                yield from walk_statements(stmt.orelse)
+        elif isinstance(stmt, WhileStmt):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, ForStmt):
+            yield from walk_statements(stmt.body)
+
+
+def walk_expressions(node):
+    """Yield every expression under a statement or expression."""
+    if isinstance(node, Expr):
+        yield node
+        if isinstance(node, UnaryOp):
+            yield from walk_expressions(node.operand)
+        elif isinstance(node, BinOp):
+            yield from walk_expressions(node.lhs)
+            yield from walk_expressions(node.rhs)
+        elif isinstance(node, CallExpr):
+            for arg in node.args:
+                yield from walk_expressions(arg)
+        elif isinstance(node, FevalExpr):
+            yield from walk_expressions(node.target)
+            for arg in node.args:
+                yield from walk_expressions(arg)
+    elif isinstance(node, AssignStmt):
+        yield from walk_expressions(node.value)
+    elif isinstance(node, ExprStmt):
+        yield from walk_expressions(node.expr)
+    elif isinstance(node, IfStmt):
+        yield from walk_expressions(node.cond)
+    elif isinstance(node, WhileStmt):
+        yield from walk_expressions(node.cond)
+    elif isinstance(node, ForStmt):
+        yield from walk_expressions(node.lo)
+        if node.step is not None:
+            yield from walk_expressions(node.step)
+        yield from walk_expressions(node.hi)

@@ -1,0 +1,365 @@
+"""Lexer and parser for the MATLAB subset the mini-McVM executes.
+
+Covers what the Q4 benchmarks (Recktenwald ODE solvers, simulated
+annealing) need: function definitions, assignments, if/elseif/else,
+while, for over ranges, scalar arithmetic with ``^``, comparisons,
+logical operators, function handles (``@f``), calls and ``feval``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from .mcast import (
+    AssignStmt,
+    BinOp,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    Expr,
+    ExprStmt,
+    FevalExpr,
+    ForStmt,
+    FuncHandle,
+    Ident,
+    IfStmt,
+    McFunction,
+    Num,
+    ReturnStmt,
+    Stmt,
+    UnaryOp,
+    WhileStmt,
+)
+
+KEYWORDS = {
+    "function", "end", "if", "elseif", "else", "while", "for",
+    "break", "continue", "return",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>%[^\n]*)
+  | (?P<ellipsis>\.\.\.[^\n]*\n)
+  | (?P<newline>\n)
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|==|~=|&&|\|\||[-+*/^<>=(),;:@&|~\[\]])
+    """,
+    re.VERBOSE | re.ASCII,
+)
+
+
+class McToken(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+class McParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> List[McToken]:
+    tokens: List[McToken] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise McParseError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup or ""
+        text = match.group()
+        pos = match.end()
+        if kind == "newline":
+            tokens.append(McToken("newline", "\n", line))
+            line += 1
+        elif kind == "ellipsis":
+            line += 1  # continuation: swallow the newline
+        elif kind in ("ws", "comment"):
+            continue
+        elif kind == "ident" and text in KEYWORDS:
+            tokens.append(McToken("kw", text, line))
+        else:
+            tokens.append(McToken(kind, text, line))
+    tokens.append(McToken("eof", "", line))
+    return tokens
+
+
+#: precedence table (higher binds tighter); ^ is right-associative
+_PRECEDENCE = {
+    "||": 1, "&&": 1, "|": 1, "&": 1,
+    "<": 2, "<=": 2, ">": 2, ">=": 2, "==": 2, "~=": 2,
+    "+": 3, "-": 3,
+    "*": 4, "/": 4,
+    "^": 5,
+}
+
+
+class McParser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self._loop_counter = 0
+
+    # -- stream -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> McToken:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> McToken:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok.text == text and tok.kind in ("op", "kw"):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> McToken:
+        tok = self.next()
+        if tok.text != text:
+            raise McParseError(f"expected {text!r}, found {tok.text!r}",
+                               tok.line)
+        return tok
+
+    def skip_separators(self) -> None:
+        while self.peek().kind == "newline" or self.peek().text == ";":
+            self.next()
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse_program(self) -> List[McFunction]:
+        functions: List[McFunction] = []
+        self.skip_separators()
+        while self.peek().kind != "eof":
+            functions.append(self.parse_function())
+            self.skip_separators()
+        return functions
+
+    def parse_function(self) -> McFunction:
+        start = self.expect("function")
+        # 'function out = name(params)' or 'function name(params)'
+        first = self.next()
+        if first.kind != "ident":
+            raise McParseError("expected identifier after 'function'",
+                               first.line)
+        output: Optional[str] = None
+        if self.peek().text == "=":
+            self.next()
+            output = first.text
+            name_tok = self.next()
+            if name_tok.kind != "ident":
+                raise McParseError("expected function name", name_tok.line)
+            name = name_tok.text
+        else:
+            name = first.text
+        params: List[str] = []
+        if self.accept("("):
+            if self.peek().text != ")":
+                while True:
+                    param = self.next()
+                    if param.kind != "ident":
+                        raise McParseError("expected parameter name",
+                                           param.line)
+                    params.append(param.text)
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        body = self.parse_body(("end",))
+        self.expect("end")
+        return McFunction(name, output, params, body, start.line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_body(self, terminators) -> List[Stmt]:
+        statements: List[Stmt] = []
+        self.skip_separators()
+        while True:
+            tok = self.peek()
+            if tok.kind == "eof":
+                raise McParseError(
+                    f"unexpected end of input (missing {terminators[0]!r}?)",
+                    tok.line,
+                )
+            if tok.kind == "kw" and tok.text in terminators:
+                return statements
+            statements.append(self.parse_statement())
+            self.skip_separators()
+
+    def parse_statement(self) -> Stmt:
+        tok = self.peek()
+        if tok.text == "if":
+            return self._parse_if()
+        if tok.text == "while":
+            return self._parse_while()
+        if tok.text == "for":
+            return self._parse_for()
+        if tok.text == "break":
+            self.next()
+            return BreakStmt(tok.line)
+        if tok.text == "continue":
+            self.next()
+            return ContinueStmt(tok.line)
+        if tok.text == "return":
+            self.next()
+            return ReturnStmt(tok.line)
+        # assignment or expression statement
+        if tok.kind == "ident" and self.peek(1).text == "=":
+            name = self.next().text
+            self.expect("=")
+            value = self.parse_expression()
+            return AssignStmt(name, value, tok.line)
+        expr = self.parse_expression()
+        return ExprStmt(expr, tok.line)
+
+    def _parse_if(self) -> IfStmt:
+        tok = self.expect("if")
+        cond = self.parse_expression()
+        body = self.parse_body(("elseif", "else", "end"))
+        next_kw = self.peek().text
+        if next_kw == "elseif":
+            # treat 'elseif' as 'else { if }' by rewriting the keyword
+            elif_tok = self.next()
+            nested_cond = self.parse_expression()
+            nested_body = self.parse_body(("elseif", "else", "end"))
+            nested = self._continue_if(nested_cond, nested_body,
+                                       elif_tok.line)
+            return IfStmt(cond, body, [nested], tok.line)
+        if next_kw == "else":
+            self.next()
+            orelse = self.parse_body(("end",))
+            self.expect("end")
+            return IfStmt(cond, body, orelse, tok.line)
+        self.expect("end")
+        return IfStmt(cond, body, None, tok.line)
+
+    def _continue_if(self, cond: Expr, body: List[Stmt], line: int) -> IfStmt:
+        next_kw = self.peek().text
+        if next_kw == "elseif":
+            elif_tok = self.next()
+            nested_cond = self.parse_expression()
+            nested_body = self.parse_body(("elseif", "else", "end"))
+            nested = self._continue_if(nested_cond, nested_body,
+                                       elif_tok.line)
+            return IfStmt(cond, body, [nested], line)
+        if next_kw == "else":
+            self.next()
+            orelse = self.parse_body(("end",))
+            self.expect("end")
+            return IfStmt(cond, body, orelse, line)
+        self.expect("end")
+        return IfStmt(cond, body, None, line)
+
+    def _parse_while(self) -> WhileStmt:
+        tok = self.expect("while")
+        cond = self.parse_expression()
+        body = self.parse_body(("end",))
+        self.expect("end")
+        self._loop_counter += 1
+        return WhileStmt(cond, body, tok.line, loop_id=self._loop_counter)
+
+    def _parse_for(self) -> ForStmt:
+        tok = self.expect("for")
+        var_tok = self.next()
+        if var_tok.kind != "ident":
+            raise McParseError("expected loop variable", var_tok.line)
+        self.expect("=")
+        lo = self.parse_range_part()
+        self.expect(":")
+        middle = self.parse_range_part()
+        step: Optional[Expr] = None
+        hi: Expr
+        if self.accept(":"):
+            step = middle
+            hi = self.parse_range_part()
+        else:
+            hi = middle
+        body = self.parse_body(("end",))
+        self.expect("end")
+        self._loop_counter += 1
+        return ForStmt(var_tok.text, lo, step, hi, body, tok.line,
+                       loop_id=self._loop_counter)
+
+    def parse_range_part(self) -> Expr:
+        """Range bounds bind tighter than ':' — parse at additive level."""
+        return self.parse_binary(3)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self.parse_binary(1)
+
+    def parse_binary(self, min_prec: int) -> Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            if tok.text == "^":
+                rhs = self.parse_binary(prec)  # right-associative
+            else:
+                rhs = self.parse_binary(prec + 1)
+            lhs = BinOp(tok.text, lhs, rhs, tok.line)
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text == "-":
+            self.next()
+            # MATLAB: unary minus binds looser than '^' (-x^2 == -(x^2))
+            return UnaryOp("-", self.parse_binary(_PRECEDENCE["^"]),
+                           tok.line)
+        if tok.text == "~":
+            self.next()
+            return UnaryOp("~", self.parse_binary(_PRECEDENCE["^"]),
+                           tok.line)
+        if tok.text == "+":
+            self.next()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            return Num(float(tok.text), tok.line)
+        if tok.text == "@":
+            name = self.next()
+            if name.kind != "ident":
+                raise McParseError("expected function name after '@'",
+                                   name.line)
+            return FuncHandle(name.text, tok.line)
+        if tok.kind == "ident":
+            if self.peek().text == "(":
+                self.next()
+                args: List[Expr] = []
+                if self.peek().text != ")":
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                if tok.text == "feval":
+                    if not args:
+                        raise McParseError("feval needs a target", tok.line)
+                    return FevalExpr(args[0], args[1:], tok.line)
+                return CallExpr(tok.text, args, tok.line)
+            return Ident(tok.text, tok.line)
+        if tok.text == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise McParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse_matlab(source: str) -> List[McFunction]:
+    """Parse MATLAB-subset source into IIR functions."""
+    return McParser(source).parse_program()

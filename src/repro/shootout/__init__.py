@@ -1,0 +1,20 @@
+"""repro.shootout — the shootout benchmark suite (paper Table 1)."""
+
+from .harness import (
+    all_benchmarks,
+    compile_benchmark,
+    run_benchmark,
+    verify_benchmark,
+    workloads,
+)
+from .programs import SUITE, Benchmark
+
+__all__ = [
+    "SUITE",
+    "Benchmark",
+    "all_benchmarks",
+    "compile_benchmark",
+    "run_benchmark",
+    "verify_benchmark",
+    "workloads",
+]

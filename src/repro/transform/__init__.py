@@ -1,0 +1,48 @@
+"""repro.transform — IR transformation passes.
+
+The LLVM-pass substitutes the OSR machinery interacts with: cloning
+(continuation generation), mem2reg (the paper's "unoptimized" tier),
+DCE/simplify-CFG (dead old-entry elision in continuations), constant
+folding and inlining (the isord comparator specialization)."""
+
+from .clone import ValueMap, clone_function, clone_instruction
+from .constfold import fold_constants
+from .dce import (
+    aggressive_dce,
+    eliminate_dead_blocks,
+    eliminate_dead_code,
+    run_dce,
+)
+from .inline import InlineError, inline_call, inline_known_indirect_calls
+from .mem2reg import promote_memory_to_registers
+from .passmanager import (
+    PASSES,
+    PIPELINES,
+    PassManager,
+    optimize_function,
+    optimize_module,
+)
+from .simplifycfg import simplify_cfg
+from .ssaupdater import SSAUpdater
+
+__all__ = [
+    "ValueMap",
+    "clone_function",
+    "clone_instruction",
+    "fold_constants",
+    "eliminate_dead_blocks",
+    "eliminate_dead_code",
+    "run_dce",
+    "aggressive_dce",
+    "InlineError",
+    "inline_call",
+    "inline_known_indirect_calls",
+    "promote_memory_to_registers",
+    "PassManager",
+    "PASSES",
+    "PIPELINES",
+    "optimize_function",
+    "optimize_module",
+    "simplify_cfg",
+    "SSAUpdater",
+]

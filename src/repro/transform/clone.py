@@ -1,0 +1,181 @@
+"""Function cloning.
+
+The workhorse of OSR continuation generation: produce a structurally
+identical copy of a function, returning the value/block correspondence map
+so the caller can remap live variables, redirect the entry point and patch
+phis — exactly the CloneFunction + ValueToValueMap workflow OSRKit uses
+in LLVM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.function import BasicBlock, Function, Module
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    IndirectCallInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from ..ir.values import Value
+
+
+class ValueMap:
+    """Old-value -> new-value correspondence produced by cloning."""
+
+    def __init__(self) -> None:
+        self._map: Dict[int, Value] = {}
+        self._keys: Dict[int, Value] = {}
+
+    def __setitem__(self, old: Value, new: Value) -> None:
+        self._map[id(old)] = new
+        self._keys[id(old)] = old
+
+    def __getitem__(self, old: Value) -> Value:
+        return self._map[id(old)]
+
+    def __contains__(self, old: Value) -> bool:
+        return id(old) in self._map
+
+    def get(self, old: Value, default: Optional[Value] = None) -> Optional[Value]:
+        return self._map.get(id(old), default)
+
+    def lookup(self, old: Value) -> Value:
+        """Map instruction/argument/block values; pass constants through."""
+        mapped = self._map.get(id(old))
+        return mapped if mapped is not None else old
+
+    def items(self):
+        for key_id, old in self._keys.items():
+            yield old, self._map[key_id]
+
+
+def clone_instruction(inst: Instruction, vmap: ValueMap) -> Instruction:
+    """Copy one instruction, remapping operands through ``vmap``.
+
+    Phi incoming entries are remapped for values; incoming *blocks* are
+    remapped if present in the map (they will be, when cloning a whole
+    function) and left as-is otherwise.
+    """
+    lookup = vmap.lookup
+    if isinstance(inst, BinaryInst):
+        return BinaryInst(inst.opcode, lookup(inst.lhs), lookup(inst.rhs),
+                          inst.name, inst.flags)
+    if isinstance(inst, ICmpInst):
+        return ICmpInst(inst.predicate, lookup(inst.lhs), lookup(inst.rhs),
+                        inst.name)
+    if isinstance(inst, FCmpInst):
+        return FCmpInst(inst.predicate, lookup(inst.lhs), lookup(inst.rhs),
+                        inst.name)
+    if isinstance(inst, SelectInst):
+        return SelectInst(lookup(inst.condition), lookup(inst.true_value),
+                          lookup(inst.false_value), inst.name)
+    if isinstance(inst, AllocaInst):
+        return AllocaInst(inst.allocated_type, inst.name, inst.count)
+    if isinstance(inst, LoadInst):
+        return LoadInst(lookup(inst.pointer), inst.name)
+    if isinstance(inst, StoreInst):
+        return StoreInst(lookup(inst.value), lookup(inst.pointer))
+    if isinstance(inst, GEPInst):
+        return GEPInst(lookup(inst.pointer),
+                       [lookup(i) for i in inst.indices],
+                       inst.name, inst.inbounds)
+    if isinstance(inst, CastInst):
+        return CastInst(inst.opcode, lookup(inst.value), inst.type, inst.name)
+    if isinstance(inst, CallInst):
+        return CallInst(lookup(inst.callee), [lookup(a) for a in inst.args],
+                        inst.name, inst.is_tail)
+    if isinstance(inst, IndirectCallInst):
+        return IndirectCallInst(lookup(inst.callee),
+                                [lookup(a) for a in inst.args],
+                                inst.name, inst.is_tail)
+    if isinstance(inst, PhiInst):
+        phi = PhiInst(inst.type, inst.name)
+        for value, block in inst.incoming:
+            phi.add_incoming(lookup(value), lookup(block))
+        return phi
+    if isinstance(inst, RetInst):
+        return RetInst(lookup(inst.value) if inst.value is not None else None)
+    if isinstance(inst, CondBranchInst):
+        return CondBranchInst(lookup(inst.condition),
+                              lookup(inst.true_target),
+                              lookup(inst.false_target))
+    if isinstance(inst, BranchInst):
+        return BranchInst(lookup(inst.target))
+    if isinstance(inst, SwitchInst):
+        new = SwitchInst(lookup(inst.value), lookup(inst.default))
+        for const, block in inst.cases:
+            new.add_case(const, lookup(block))
+        return new
+    if isinstance(inst, UnreachableInst):
+        return UnreachableInst()
+    raise NotImplementedError(f"cannot clone {type(inst).__name__}")
+
+
+def clone_function(
+    func: Function,
+    new_name: str,
+    module: Optional[Module] = None,
+) -> tuple:
+    """Clone ``func`` as ``new_name``; returns ``(clone, vmap)``.
+
+    The clone is added to ``module`` (defaults to the original's module).
+    ``vmap`` maps every original argument, block and instruction to its
+    copy, which OSR continuation generation then uses to rewire live
+    values to continuation-function parameters.
+    """
+    target_module = module if module is not None else func.module
+    clone = Function(func.function_type, new_name,
+                     [arg.name for arg in func.args])
+    clone.attributes.update(func.attributes)
+    if target_module is not None:
+        target_module.add_function(clone)
+
+    vmap = ValueMap()
+    for old_arg, new_arg in zip(func.args, clone.args):
+        vmap[old_arg] = new_arg
+
+    # create all blocks first so branches and phis can resolve targets
+    for block in func.blocks:
+        new_block = BasicBlock(block.name)
+        clone.add_block(new_block)
+        vmap[block] = new_block
+
+    # Pass 1: copy every instruction with *old* value operands (block
+    # operands are remapped immediately — all blocks already exist).  Value
+    # operands may be forward references across layout order (a block laid
+    # out early can use a value from a dominating block laid out later),
+    # so they are patched in pass 2 once the full map exists.
+    for block in func.blocks:
+        new_block = vmap[block]
+        for inst in block.instructions:
+            new_inst = clone_instruction(inst, vmap)
+            new_block.append(new_inst)
+            if not inst.type.is_void:
+                vmap[inst] = new_inst
+
+    # Pass 2: rewrite any operand that still points into the original
+    # function to its clone.
+    for block in clone.blocks:
+        for inst in block.instructions:
+            for index, op in enumerate(inst.operands):
+                mapped = vmap.get(op)
+                if mapped is not None and mapped is not op:
+                    inst.set_operand(index, mapped)
+
+    return clone, vmap

@@ -1,0 +1,88 @@
+"""Dead-code elimination.
+
+Two flavours:
+
+* :func:`eliminate_dead_code` — classic worklist DCE on unused,
+  side-effect-free instructions.
+* :func:`eliminate_dead_blocks` — remove CFG-unreachable blocks (re-export
+  of the CFG utility; listed here because the OSR continuation generator
+  depends on it to drop the original entry region, paper Figure 7).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import remove_unreachable_blocks
+from ..analysis.usedef import is_trivially_dead
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+
+
+def eliminate_dead_code(func: Function) -> int:
+    """Remove trivially dead instructions; returns the number removed."""
+    removed = 0
+    worklist = [
+        inst for inst in func.instructions() if is_trivially_dead(inst)
+    ]
+    while worklist:
+        inst = worklist.pop()
+        if inst.parent is None or not is_trivially_dead(inst):
+            continue
+        operands = [
+            op for op in inst.operands if isinstance(op, Instruction)
+        ]
+        inst.erase_from_parent()
+        removed += 1
+        for op in operands:
+            if is_trivially_dead(op):
+                worklist.append(op)
+    return removed
+
+
+def eliminate_dead_blocks(func: Function) -> int:
+    """Remove unreachable blocks; returns the number removed."""
+    return len(remove_unreachable_blocks(func))
+
+
+def run_dce(func: Function) -> int:
+    """Blocks first (may kill uses), then instructions."""
+    removed = eliminate_dead_blocks(func)
+    removed += eliminate_dead_code(func)
+    return removed
+
+
+def aggressive_dce(func: Function) -> int:
+    """ADCE: keep only instructions transitively needed by roots.
+
+    Roots are terminators and side-effecting instructions; everything
+    else — including self-sustaining phi webs, which the worklist DCE
+    above cannot kill — is erased.  Used by OSR point *removal* to strip
+    a no-longer-needed hotness counter out of a loop.
+    """
+    live = set()
+    worklist = []
+    for inst in func.instructions():
+        if inst.is_terminator or inst.has_side_effects():
+            live.add(id(inst))
+            worklist.append(inst)
+    while worklist:
+        inst = worklist.pop()
+        for op in inst.operands:
+            if isinstance(op, Instruction) and id(op) not in live:
+                live.add(id(op))
+                worklist.append(op)
+    removed = 0
+    for block in func.blocks:
+        for inst in block.instructions:
+            if id(inst) not in live:
+                inst.drop_all_references()
+                removed += 1
+    for block in func.blocks:
+        for inst in block.instructions:
+            if id(inst) not in live:
+                if inst.is_used():
+                    # another dead instruction still points here; those
+                    # references were dropped above, so this is a live
+                    # user — should not happen, keep the instruction
+                    continue
+                block.remove(inst)
+    return removed

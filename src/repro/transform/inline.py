@@ -1,0 +1,165 @@
+"""Function inlining.
+
+Inlines a call site by splicing a clone of the callee into the caller:
+the call block is split at the call, the callee's blocks are copied in,
+arguments are wired to parameters, and every ``ret`` becomes a branch to
+the continuation block (with a phi merging return values).
+
+The open-OSR running example of the paper uses exactly this: the code
+generator builds a faster ``isord`` by inlining the comparator that was
+passed as a function pointer and observed at run time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.builder import IRBuilder
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    CallInst,
+    IndirectCallInst,
+    Instruction,
+    PhiInst,
+    RetInst,
+)
+from ..ir.values import Value
+from .clone import ValueMap, clone_instruction
+
+
+class InlineError(Exception):
+    """Raised when a call site cannot be inlined."""
+
+
+def inline_call(call: Instruction, callee: Optional[Function] = None) -> None:
+    """Inline ``call`` (a :class:`CallInst` or an :class:`IndirectCallInst`
+    with a known target passed via ``callee``) into its caller.
+
+    The call instruction is destroyed; its uses are rewired to the inlined
+    return value.
+    """
+    if isinstance(call, CallInst):
+        target = call.callee if callee is None else callee
+    elif isinstance(call, IndirectCallInst):
+        if callee is None:
+            raise InlineError("indirect call needs an explicit callee")
+        target = callee
+    else:
+        raise InlineError(f"not a call instruction: {call!r}")
+
+    if not isinstance(target, Function) or target.is_declaration:
+        raise InlineError(f"cannot inline {target!r}")
+    caller = call.function
+    if caller is None:
+        raise InlineError("call is not inside a function")
+    if target is caller:
+        raise InlineError("directly recursive inlining is not supported")
+    if len(call.args) != len(target.args):
+        raise InlineError("argument count mismatch")
+
+    block = call.parent
+    call_index = block.instructions.index(call)
+
+    # --- split the call block ------------------------------------------------
+    continuation = BasicBlock(f"{block.name}.cont")
+    caller.add_block(continuation, after=block)
+    for inst in block.instructions[call_index + 1:]:
+        block.remove(inst)
+        continuation.append(inst)
+    # successors' phis must now reference the continuation block
+    for succ in continuation.successors():
+        for phi in succ.phis:
+            phi.replace_incoming_block(block, continuation)
+
+    # --- clone callee body ------------------------------------------------------
+    vmap = ValueMap()
+    for param, arg in zip(target.args, call.args):
+        vmap[param] = arg
+    cloned_blocks: List[BasicBlock] = []
+    insert_after = block
+    for src in target.blocks:
+        copy = BasicBlock(f"inl.{target.name}.{src.name}")
+        caller.add_block(copy, after=insert_after)
+        insert_after = copy
+        vmap[src] = copy
+        cloned_blocks.append(copy)
+    returns: List[RetInst] = []
+    for src in target.blocks:
+        dst = vmap[src]
+        for inst in src.instructions:
+            copy = clone_instruction(inst, vmap)
+            dst.append(copy)
+            if not inst.type.is_void:
+                vmap[inst] = copy
+            if isinstance(copy, RetInst):
+                returns.append(copy)
+    # patch forward references (same scheme as clone_function pass 2)
+    for dst in cloned_blocks:
+        for inst in dst.instructions:
+            for index, op in enumerate(inst.operands):
+                mapped = vmap.get(op)
+                if mapped is not None and mapped is not op:
+                    inst.set_operand(index, mapped)
+                    if isinstance(inst, RetInst) and inst not in returns:
+                        returns.append(inst)
+
+    # --- wire control flow --------------------------------------------------------
+    entry_clone = vmap[target.entry]
+    call.erase_from_parent()
+    IRBuilder(block).br(entry_clone)
+
+    ret_value: Optional[Value] = None
+    if not target.return_type.is_void:
+        if len(returns) == 1:
+            ret_value = returns[0].value
+        elif returns:
+            phi = PhiInst(target.return_type, "inl.ret")
+            continuation.insert(0, phi)
+            for ret in returns:
+                phi.add_incoming(ret.value, ret.parent)
+            ret_value = phi
+    for ret in returns:
+        ret_block = ret.parent
+        ret.erase_from_parent()
+        IRBuilder(ret_block).br(continuation)
+
+    if not call.type.is_void:
+        if ret_value is None:
+            if call.is_used():
+                raise InlineError(
+                    "non-void callee never returns but its value is used"
+                )
+        else:
+            # erase_from_parent dropped the call's *operand* references;
+            # its use list is intact, so RAUW rewires the moved users
+            call.replace_all_uses_with(ret_value)
+
+
+def inline_known_indirect_calls(func: Function, resolver) -> int:
+    """Inline indirect calls whose target ``resolver(call)`` can name.
+
+    ``resolver`` maps an :class:`IndirectCallInst` to a :class:`Function`
+    or ``None``.  Used by the open-OSR isord example where the profiler has
+    observed the comparator's identity.  Returns the number of sites
+    inlined.
+    """
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            for inst in block.instructions:
+                if not isinstance(inst, IndirectCallInst):
+                    continue
+                target = resolver(inst)
+                if target is None or target is func:
+                    continue
+                if target.is_declaration:
+                    continue
+                inline_call(inst, target)
+                count += 1
+                changed = True
+                break
+            if changed:
+                break
+    return count

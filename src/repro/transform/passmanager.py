@@ -1,0 +1,83 @@
+"""Pass manager.
+
+A deliberately simple pipeline runner in the spirit of ``opt``: passes are
+named callables over functions; standard pipelines bundle them the way the
+paper's experiments do (``mem2reg`` only for the *unoptimized* tier,
+``-O1``-like for the *optimized* tier).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.function import Function, Module
+from ..ir.verifier import verify_function
+from .constfold import fold_constants
+from .dce import eliminate_dead_code, run_dce
+from .mem2reg import promote_memory_to_registers
+from .simplifycfg import simplify_cfg
+
+FunctionPass = Callable[[Function], object]
+
+#: registry of named function passes
+PASSES: Dict[str, FunctionPass] = {
+    "mem2reg": promote_memory_to_registers,
+    "dce": eliminate_dead_code,
+    "dce+blocks": run_dce,
+    "constfold": fold_constants,
+    "simplifycfg": simplify_cfg,
+}
+
+#: the two pipeline configurations of the paper's evaluation (Section 5.1)
+PIPELINES: Dict[str, List[str]] = {
+    # "unoptimized": only mem2reg, to promote stack slots and build SSA
+    "unoptimized": ["mem2reg"],
+    # "optimized": an -O1-like sequence
+    "optimized": [
+        "mem2reg",
+        "constfold",
+        "simplifycfg",
+        "dce",
+        "constfold",
+        "simplifycfg",
+        "dce+blocks",
+    ],
+}
+
+
+class PassManager:
+    """Runs a named sequence of function passes, optionally verifying
+    after each step (the test suite always verifies)."""
+
+    def __init__(self, passes: Sequence[str], verify: bool = True):
+        unknown = [p for p in passes if p not in PASSES]
+        if unknown:
+            raise KeyError(f"unknown passes: {unknown}")
+        self.pass_names = list(passes)
+        self.verify = verify
+
+    @classmethod
+    def pipeline(cls, name: str, verify: bool = True) -> "PassManager":
+        return cls(PIPELINES[name], verify=verify)
+
+    def run(self, func: Function) -> Function:
+        for name in self.pass_names:
+            PASSES[name](func)
+            if self.verify:
+                verify_function(func)
+        return func
+
+    def run_module(self, module: Module) -> Module:
+        for func in module.functions:
+            if not func.is_declaration:
+                self.run(func)
+        return module
+
+
+def optimize_function(func: Function, level: str = "optimized") -> Function:
+    """Convenience: run one of the standard pipelines on a function."""
+    return PassManager.pipeline(level).run(func)
+
+
+def optimize_module(module: Module, level: str = "optimized") -> Module:
+    return PassManager.pipeline(level).run_module(module)

@@ -1,0 +1,41 @@
+"""repro.vm — execution engine (MCJIT substitute).
+
+Runs repro IR through two interchangeable tiers: a reference interpreter
+and a JIT that lowers IR to Python source.  Provides lazy compilation,
+native symbol resolution, global storage, and the object table that OSR
+stubs use to carry IR objects through ``inttoptr`` constants.
+"""
+
+from .engine import ExecutionEngine, ObjectTable
+from .interpreter import Interpreter, StepLimitExceeded, Trap
+from .jit import JITError, compile_function
+from .runtime import (
+    HANDLE_HEAP,
+    NULL,
+    FunctionHandle,
+    MemoryBuffer,
+    NativeHandle,
+    OutputBuffer,
+    is_null,
+    load_scalar,
+    store_scalar,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "ObjectTable",
+    "Interpreter",
+    "Trap",
+    "StepLimitExceeded",
+    "JITError",
+    "compile_function",
+    "FunctionHandle",
+    "NativeHandle",
+    "MemoryBuffer",
+    "OutputBuffer",
+    "NULL",
+    "HANDLE_HEAP",
+    "is_null",
+    "load_scalar",
+    "store_scalar",
+]

@@ -1,0 +1,556 @@
+"""JIT tier: compile IR functions to Python functions.
+
+The MCJIT substitute's "native code" is generated Python source, compiled
+with :func:`compile`/``exec``.  Each IR function becomes one Python
+function whose body is a ``while True`` dispatch loop over basic blocks;
+phi nodes become parallel tuple assignments on the CFG edges; SSA values
+become Python locals.
+
+Semantics match the interpreter exactly (two's-complement wrap-around,
+C-style division, byte-addressed memory), which the property-based tests
+verify by differential execution.
+
+Direct calls go through *lazy trampolines*: the first call compiles the
+callee and patches the compiled module's namespace, reproducing MCJIT's
+compile-on-first-call behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Any, Dict, List, Optional
+
+from ..ir import types as T
+from ..ir.constexpr import ConstantIntToPtr
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    IndirectCallInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from ..ir.values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .interpreter import Trap
+from .runtime import HANDLE_HEAP, NULL, MemoryBuffer, load_scalar, store_scalar
+
+
+class JITError(Exception):
+    """Raised when a function cannot be lowered to Python."""
+
+
+# -- integer semantics helpers (bound into every compiled namespace) ----------
+
+
+def _make_sdiv(trap):
+    def sdiv(a, b):
+        if b == 0:
+            raise trap("sdiv by zero")
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+
+    return sdiv
+
+
+def _make_srem(trap):
+    def srem(a, b):
+        if b == 0:
+            raise trap("srem by zero")
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return a - q * b
+
+    return srem
+
+
+def _nonzero(value):
+    if value == 0:
+        raise Trap("division by zero")
+    return value
+
+
+def _shift_amount(amount, bits):
+    if not 0 <= amount < bits:
+        raise Trap(f"shift amount {amount} out of range for i{bits}")
+    return amount
+
+
+def _f32_round_trip(value):
+    """Round a Python float through 32-bit storage (fptrunc semantics)."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+_NAME_RE = re.compile(r"[^0-9A-Za-z_]")
+
+
+class FunctionCompiler:
+    """Compiles one IR function to a Python callable."""
+
+    def __init__(self, func: Function, engine):
+        self.func = func
+        self.engine = engine
+        self.lines: List[str] = []
+        self.namespace: Dict[str, Any] = {}
+        self._value_names: Dict[int, str] = {}
+        self._name_counter = 0
+        self._block_ids: Dict[int, int] = {}
+        self._const_counter = 0
+
+    # -- naming ------------------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        self._name_counter += 1
+        clean = _NAME_RE.sub("_", hint) or "v"
+        return f"v{self._name_counter}_{clean}"
+
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._value_names:
+            self._value_names[key] = self._fresh(value.name)
+        return self._value_names[key]
+
+    def bind(self, obj: Any, hint: str) -> str:
+        """Bind a Python object into the namespace; return its name."""
+        self._const_counter += 1
+        name = f"_k{self._const_counter}_{_NAME_RE.sub('_', hint)}"
+        self.namespace[name] = obj
+        return name
+
+    # -- operand expressions -------------------------------------------------------
+
+    def expr(self, value: Value) -> str:
+        if isinstance(value, ConstantInt):
+            return repr(value.value)
+        if isinstance(value, ConstantFloat):
+            v = value.value
+            if v != v:
+                return "_nan"
+            if v in (float("inf"), float("-inf")):
+                return "_inf" if v > 0 else "(-_inf)"
+            return repr(v)
+        if isinstance(value, ConstantNull):
+            return "_null"
+        if isinstance(value, UndefValue):
+            if value.type.is_float:
+                return "0.0"
+            if value.type.is_pointer:
+                return "_null"
+            return "0"
+        if isinstance(value, ConstantIntToPtr):
+            obj = self.engine.object_table.resolve(value.value)
+            return self.bind(obj, f"obj{value.value}")
+        if isinstance(value, Function):
+            return self.bind(self.engine.handle_for(value), value.name)
+        if isinstance(value, GlobalVariable):
+            return self.bind(self.engine.global_pointer(value), value.name)
+        if isinstance(value, (Argument, Instruction)):
+            return self.name_of(value)
+        raise JITError(f"cannot lower operand {value!r}")
+
+    # -- top level -----------------------------------------------------------------------
+
+    def compile(self):
+        func = self.func
+        if func.is_declaration:
+            raise JITError(f"cannot compile declaration @{func.name}")
+        func.assign_names()
+
+        self.namespace.update(
+            _null=NULL,
+            _nan=float("nan"),
+            _inf=float("inf"),
+            _Trap=Trap,
+            _MemoryBuffer=MemoryBuffer,
+            _hload=HANDLE_HEAP.load,
+            _hstore=HANDLE_HEAP.store,
+            _fmod=__import__("math").fmod,
+        )
+        self.namespace["_sdiv"] = _make_sdiv(Trap)
+        self.namespace["_srem"] = _make_srem(Trap)
+        self.namespace["_nz"] = _nonzero
+        self.namespace["_shamt"] = _shift_amount
+        self.namespace["_f32rt"] = _f32_round_trip
+        # packers/unpackers for the common scalar widths
+        for suffix, fmt in (("b", "<b"), ("h", "<h"), ("i", "<i"),
+                            ("q", "<q"), ("f", "<f"), ("d", "<d")):
+            st = struct.Struct(fmt)
+            self.namespace[f"_u{suffix}"] = st.unpack_from
+            self.namespace[f"_p{suffix}"] = st.pack_into
+        self.namespace["_load_scalar"] = load_scalar
+        self.namespace["_store_scalar"] = store_scalar
+
+        for index, block in enumerate(func.blocks):
+            self._block_ids[id(block)] = index
+
+        args = ", ".join(self.name_of(a) for a in func.args)
+        self.lines.append(f"def {self._py_name()}({args}):")
+        self.lines.append("    _b = 0")
+        self.lines.append("    while True:")
+        for index, block in enumerate(func.blocks):
+            keyword = "if" if index == 0 else "elif"
+            self.lines.append(f"        {keyword} _b == {index}:  # %{block.name}")
+            body = self._compile_block(block)
+            for line in body:
+                self.lines.append(f"            {line}")
+        self.lines.append("        else:")
+        self.lines.append("            raise _Trap('bad block id')")
+
+        source = "\n".join(self.lines)
+        code = compile(source, f"<jit:@{func.name}>", "exec")
+        exec(code, self.namespace)
+        compiled = self.namespace[self._py_name()]
+        compiled.__ir_source__ = source
+        return compiled
+
+    def _py_name(self) -> str:
+        return "_jit_" + _NAME_RE.sub("_", self.func.name)
+
+    # -- blocks -------------------------------------------------------------------------
+
+    def _compile_block(self, block: BasicBlock) -> List[str]:
+        out: List[str] = []
+        instructions = block.instructions
+        for inst in instructions[block.first_non_phi_index:]:
+            out.extend(self._compile_instruction(inst))
+        if not out:
+            out.append("raise _Trap('empty block')")
+        return out
+
+    def _goto(self, source: BasicBlock, target: BasicBlock) -> List[str]:
+        """Edge transfer: parallel phi assignment, then jump."""
+        out: List[str] = []
+        phis = target.phis
+        if phis:
+            names = ", ".join(self.name_of(p) for p in phis)
+            exprs = ", ".join(
+                self.expr(p.incoming_value_for(source)) for p in phis
+            )
+            out.append(f"{names} = {exprs}" if len(phis) > 1
+                       else f"{names} = {exprs}")
+        out.append(f"_b = {self._block_ids[id(target)]}")
+        out.append("continue")
+        return out
+
+    # -- instructions -----------------------------------------------------------------------
+
+    def _compile_instruction(self, inst: Instruction) -> List[str]:
+        name = self.name_of(inst) if not inst.type.is_void else None
+        e = self.expr
+
+        if isinstance(inst, BinaryInst):
+            return [f"{name} = {self._binop_expr(inst)}"]
+
+        if isinstance(inst, ICmpInst):
+            return [f"{name} = {self._icmp_expr(inst)}"]
+
+        if isinstance(inst, FCmpInst):
+            a, b = e(inst.lhs), e(inst.rhs)
+            ordered = f"({a} == {a} and {b} == {b})"
+            table = {
+                "oeq": f"1 if ({ordered} and {a} == {b}) else 0",
+                "one": f"1 if ({ordered} and {a} != {b}) else 0",
+                "olt": f"1 if ({ordered} and {a} < {b}) else 0",
+                "ole": f"1 if ({ordered} and {a} <= {b}) else 0",
+                "ogt": f"1 if ({ordered} and {a} > {b}) else 0",
+                "oge": f"1 if ({ordered} and {a} >= {b}) else 0",
+                "ord": f"1 if {ordered} else 0",
+                "uno": f"0 if {ordered} else 1",
+            }
+            return [f"{name} = {table[inst.predicate]}"]
+
+        if isinstance(inst, SelectInst):
+            return [
+                f"{name} = {e(inst.true_value)} if {e(inst.condition)} "
+                f"else {e(inst.false_value)}"
+            ]
+
+        if isinstance(inst, AllocaInst):
+            size = T.size_of(inst.allocated_type) * inst.count
+            return [
+                f"{name} = (_MemoryBuffer({size}, {inst.name!r}), 0)"
+            ]
+
+        if isinstance(inst, LoadInst):
+            return [f"{name} = {self._load_expr(inst.type, e(inst.pointer))}"]
+
+        if isinstance(inst, StoreInst):
+            return self._store_lines(
+                inst.value.type, e(inst.value), e(inst.pointer)
+            )
+
+        if isinstance(inst, GEPInst):
+            return [f"{name} = {self._gep_expr(inst)}"]
+
+        if isinstance(inst, CastInst):
+            return [f"{name} = {self._cast_expr(inst)}"]
+
+        if isinstance(inst, CallInst):
+            callee = inst.callee
+            if isinstance(callee, Function):
+                target = self._bind_call_target(callee)
+            else:
+                target = self.bind(callee, getattr(callee, "name", "callee"))
+            args = ", ".join(e(a) for a in inst.args)
+            prefix = f"{name} = " if name else ""
+            return [f"{prefix}{target}({args})"]
+
+        if isinstance(inst, IndirectCallInst):
+            args = ", ".join(e(a) for a in inst.args)
+            prefix = f"{name} = " if name else ""
+            return [f"{prefix}{e(inst.callee)}({args})"]
+
+        if isinstance(inst, RetInst):
+            if inst.value is None:
+                return ["return None"]
+            return [f"return {e(inst.value)}"]
+
+        if isinstance(inst, BranchInst):
+            return self._goto(inst.parent, inst.target)
+
+        if isinstance(inst, CondBranchInst):
+            out = [f"if {e(inst.condition)}:"]
+            out.extend(f"    {l}" for l in self._goto(inst.parent, inst.true_target))
+            out.append("else:")
+            out.extend(f"    {l}" for l in self._goto(inst.parent, inst.false_target))
+            return out
+
+        if isinstance(inst, SwitchInst):
+            out: List[str] = []
+            value_name = self._fresh("switch")
+            out.append(f"{value_name} = {e(inst.value)}")
+            first = True
+            for const, target in inst.cases:
+                kw = "if" if first else "elif"
+                first = False
+                out.append(f"{kw} {value_name} == {const.value}:")
+                out.extend(f"    {l}" for l in self._goto(inst.parent, target))
+            if not first:
+                out.append("else:")
+                out.extend(f"    {l}" for l in self._goto(inst.parent, inst.default))
+            else:
+                out.extend(self._goto(inst.parent, inst.default))
+            return out
+
+        if isinstance(inst, UnreachableInst):
+            return ["raise _Trap('reached unreachable')"]
+
+        raise JITError(f"cannot lower {type(inst).__name__}")
+
+    def _bind_call_target(self, callee: Function) -> str:
+        """Bind a lazily-compiled trampoline for a direct callee."""
+        slot = f"_f_{_NAME_RE.sub('_', callee.name)}"
+        if slot not in self.namespace:
+            self.namespace[slot] = self.engine.lazy_trampoline(
+                callee, self.namespace, slot
+            )
+        return slot
+
+    # -- expression fragments ------------------------------------------------------------------
+
+    def _binop_expr(self, inst: BinaryInst) -> str:
+        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+        op = inst.opcode
+        if isinstance(inst.type, T.FloatType):
+            table = {
+                "fadd": f"({a} + {b})",
+                "fsub": f"({a} - {b})",
+                "fmul": f"({a} * {b})",
+                "fdiv": f"({a} / {b})",
+                "frem": f"_fmod({a}, {b})",
+            }
+            return table[op]
+        bits = inst.type.bits
+        mask = (1 << bits) - 1
+        half = 1 << (bits - 1) if bits > 1 else 0
+
+        def wrap(expr: str) -> str:
+            if bits == 1:
+                return f"(({expr}) & 1)"
+            return f"((({expr}) + {half} & {mask}) - {half})"
+
+        if op == "add":
+            return wrap(f"{a} + {b}")
+        if op == "sub":
+            return wrap(f"{a} - {b}")
+        if op == "mul":
+            return wrap(f"{a} * {b}")
+        if op == "sdiv":
+            return wrap(f"_sdiv({a}, {b})")
+        if op == "srem":
+            return wrap(f"_srem({a}, {b})")
+        if op == "udiv":
+            return wrap(f"(({a} & {mask}) // _nz({b} & {mask}))")
+        if op == "urem":
+            return wrap(f"(({a} & {mask}) % _nz({b} & {mask}))")
+        if op == "and":
+            return wrap(f"({a} & {mask}) & ({b} & {mask})")
+        if op == "or":
+            return wrap(f"({a} & {mask}) | ({b} & {mask})")
+        if op == "xor":
+            return wrap(f"({a} & {mask}) ^ ({b} & {mask})")
+        if op == "shl":
+            return wrap(f"({a} & {mask}) << _shamt({b}, {bits})")
+        if op == "lshr":
+            return wrap(f"({a} & {mask}) >> _shamt({b}, {bits})")
+        if op == "ashr":
+            return wrap(f"{a} >> _shamt({b}, {bits})")
+        raise JITError(f"unknown binop {op}")
+
+    def _icmp_expr(self, inst: ICmpInst) -> str:
+        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+        if inst.lhs.type.is_pointer:
+            # pointer compare: identity for eq/ne, (id, offset) for order
+            same = f"({a}[0] is {b}[0] and {a}[1] == {b}[1])"
+            if inst.predicate == "eq":
+                return f"(1 if {same} else 0)"
+            if inst.predicate == "ne":
+                return f"(0 if {same} else 1)"
+            ka = f"(id({a}[0]), {a}[1])"
+            kb = f"(id({b}[0]), {b}[1])"
+            py = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
+                  "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}[inst.predicate]
+            return f"(1 if {ka} {py} {kb} else 0)"
+        bits = inst.lhs.type.bits
+        mask = (1 << bits) - 1
+        signed = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
+                  "sgt": ">", "sge": ">="}
+        if inst.predicate in signed:
+            return f"(1 if {a} {signed[inst.predicate]} {b} else 0)"
+        py = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}[inst.predicate]
+        return f"(1 if ({a} & {mask}) {py} ({b} & {mask}) else 0)"
+
+    def _load_expr(self, ty: T.Type, pointer: str) -> str:
+        if isinstance(ty, T.PointerType):
+            return f"_hload({pointer})"
+        if isinstance(ty, T.IntType):
+            suffix = {8: "b", 16: "h", 32: "i", 64: "q"}.get(ty.bits)
+            if suffix:
+                return f"_u{suffix}({pointer}[0].data, {pointer}[1])[0]"
+            if ty.bits == 1:
+                return f"({pointer}[0].data[{pointer}[1]] & 1)"
+            ty_name = self.bind(ty, f"ity{ty.bits}")
+            return f"_load_scalar({ty_name}, {pointer})"
+        if isinstance(ty, T.FloatType):
+            suffix = "f" if ty.bits == 32 else "d"
+            return f"_u{suffix}({pointer}[0].data, {pointer}[1])[0]"
+        raise JITError(f"cannot load type {ty}")
+
+    def _store_lines(self, ty: T.Type, value: str, pointer: str) -> List[str]:
+        if isinstance(ty, T.PointerType):
+            return [f"_hstore({pointer}, {value})"]
+        if isinstance(ty, T.IntType):
+            suffix = {8: "b", 16: "h", 32: "i", 64: "q"}.get(ty.bits)
+            if suffix:
+                return [f"_p{suffix}({pointer}[0].data, {pointer}[1], {value})"]
+            if ty.bits == 1:
+                return [f"{pointer}[0].data[{pointer}[1]] = ({value}) & 1"]
+            ty_name = self.bind(ty, f"ity{ty.bits}")
+            return [f"_store_scalar({ty_name}, {pointer}, {value})"]
+        if isinstance(ty, T.FloatType):
+            suffix = "f" if ty.bits == 32 else "d"
+            return [f"_p{suffix}({pointer}[0].data, {pointer}[1], {value})"]
+        raise JITError(f"cannot store type {ty}")
+
+    def _gep_expr(self, inst: GEPInst) -> str:
+        pointer = self.expr(inst.pointer)
+        pointee = inst.pointer.type.pointee
+        terms: List[str] = []
+        first = inst.indices[0]
+        stride = T.size_of(pointee)
+        terms.append(self._scaled_index(first, stride))
+        current = pointee
+        for idx in inst.indices[1:]:
+            if isinstance(current, T.ArrayType):
+                terms.append(self._scaled_index(idx, T.size_of(current.element)))
+                current = current.element
+            elif isinstance(current, T.StructType):
+                const = idx
+                assert isinstance(const, ConstantInt)
+                offset = sum(
+                    T.size_of(f) for f in current.fields[: const.value]
+                )
+                terms.append(str(offset))
+                current = current.fields[const.value]
+            else:
+                raise JITError(f"cannot GEP into {current}")
+        offset_expr = " + ".join(t for t in terms if t != "0") or "0"
+        return f"({pointer}[0], {pointer}[1] + {offset_expr})"
+
+    def _scaled_index(self, index: Value, stride: int) -> str:
+        if isinstance(index, ConstantInt):
+            return str(index.value * stride)
+        expr = self.expr(index)
+        if stride == 1:
+            return expr
+        return f"{expr} * {stride}"
+
+    def _cast_expr(self, inst: CastInst) -> str:
+        value = self.expr(inst.value)
+        op = inst.opcode
+        to = inst.type
+        if op == "bitcast":
+            return value
+        if op == "inttoptr":
+            table = self.bind(self.engine.object_table, "objtab")
+            return f"{table}.resolve({value})"
+        if op == "ptrtoint":
+            table = self.bind(self.engine.object_table, "objtab")
+            return f"{table}.intern({value})"
+        if op in ("trunc", "sext", "zext"):
+            src_bits = inst.value.type.bits
+            dst_bits = to.bits
+            src_mask = (1 << src_bits) - 1
+            dst_mask = (1 << dst_bits) - 1
+            half = 1 << (dst_bits - 1) if dst_bits > 1 else 0
+            if op == "zext":
+                inner = f"({value} & {src_mask})"
+            else:
+                inner = value
+            if dst_bits == 1:
+                return f"({inner} & 1)"
+            return f"((({inner}) + {half} & {dst_mask}) - {half})"
+        if op == "sitofp":
+            return f"float({value})"
+        if op == "uitofp":
+            src_mask = (1 << inst.value.type.bits) - 1
+            return f"float({value} & {src_mask})"
+        if op in ("fptosi", "fptoui"):
+            dst_mask = (1 << to.bits) - 1
+            half = 1 << (to.bits - 1) if to.bits > 1 else 0
+            if to.bits == 1:
+                return f"(int({value}) & 1)"
+            return f"((int({value}) + {half} & {dst_mask}) - {half})"
+        if op in ("fptrunc", "fpext"):
+            if to.bits == 32:
+                return f"_f32rt({value})"
+            return f"float({value})"
+        raise JITError(f"cannot lower cast {op}")
+
+
+def compile_function(func: Function, engine):
+    """Compile an IR function to a Python callable via the engine."""
+    compiler = FunctionCompiler(func, engine)
+    return compiler.compile()

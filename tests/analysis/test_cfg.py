@@ -1,0 +1,135 @@
+"""CFG utility tests."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    depth_first_order,
+    post_order,
+    predecessor_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_post_order,
+    split_edge,
+)
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock
+from repro.ir.values import ConstantInt
+from repro.ir.verifier import verify_function
+
+from ..conftest import build_branchy, build_sum_loop
+
+
+class TestPredecessors:
+    def test_branchy(self, module):
+        func = build_branchy(module)
+        preds = predecessor_map(func)
+        entry = func.get_block("entry")
+        join = func.get_block("join")
+        assert preds[entry] == []
+        assert set(preds[join]) == {func.get_block("left"),
+                                    func.get_block("right")}
+
+    def test_loop_back_edge(self, module):
+        func = build_sum_loop(module)
+        preds = predecessor_map(func)
+        loop = func.get_block("loop")
+        assert set(preds[loop]) == {func.get_block("entry"), loop}
+
+
+class TestOrders:
+    def test_reachability(self, module):
+        func = build_branchy(module)
+        dead = BasicBlock("dead", func)
+        IRBuilder(dead).ret(ConstantInt(T.i64, 0))
+        reachable = reachable_blocks(func)
+        assert dead not in reachable
+        assert len(reachable) == 4
+
+    def test_dfs_starts_at_entry(self, module):
+        func = build_branchy(module)
+        order = depth_first_order(func)
+        assert order[0] is func.entry
+        assert len(order) == 4
+
+    def test_post_order_entry_last(self, module):
+        func = build_branchy(module)
+        order = post_order(func)
+        assert order[-1] is func.entry
+
+    def test_rpo_entry_first(self, module):
+        func = build_sum_loop(module)
+        order = reverse_post_order(func)
+        assert order[0] is func.entry
+        # RPO visits a block before its non-back-edge successors
+        loop = func.get_block("loop")
+        done = func.get_block("done")
+        assert order.index(loop) < order.index(done)
+
+    def test_post_order_handles_deep_chains(self, module):
+        # iterative implementation must not hit the recursion limit
+        from repro.ir.function import Function
+
+        func = Function(T.function(T.i64), "deep")
+        module.add_function(func)
+        blocks = [BasicBlock(f"b{i}", func) for i in range(3000)]
+        for a, b in zip(blocks, blocks[1:]):
+            IRBuilder(a).br(b)
+        IRBuilder(blocks[-1]).ret(ConstantInt(T.i64, 0))
+        assert len(post_order(func)) == 3000
+
+
+class TestRemoveUnreachable:
+    def test_removes_dead_blocks(self, module):
+        func = build_branchy(module)
+        dead = BasicBlock("dead", func)
+        IRBuilder(dead).ret(ConstantInt(T.i64, 0))
+        removed = remove_unreachable_blocks(func)
+        assert removed == [dead]
+        verify_function(func)
+
+    def test_cleans_phi_incoming(self, module):
+        func = build_branchy(module)
+        join = func.get_block("join")
+        dead = BasicBlock("dead", func)
+        IRBuilder(dead).br(join)
+        join.phis[0].add_incoming(ConstantInt(T.i64, 99), dead)
+        remove_unreachable_blocks(func)
+        assert not join.phis[0].has_incoming_for(dead)
+        verify_function(func)
+
+    def test_noop_when_all_reachable(self, module):
+        func = build_sum_loop(module)
+        assert remove_unreachable_blocks(func) == []
+
+    def test_mutually_referential_dead_blocks(self, module):
+        func = build_branchy(module)
+        d1 = BasicBlock("d1", func)
+        d2 = BasicBlock("d2", func)
+        IRBuilder(d1).br(d2)
+        IRBuilder(d2).br(d1)
+        removed = remove_unreachable_blocks(func)
+        assert set(removed) == {d1, d2}
+        verify_function(func)
+
+
+class TestSplitEdge:
+    def test_split_critical_edge(self, module):
+        func = build_sum_loop(module)
+        entry = func.get_block("entry")
+        loop = func.get_block("loop")
+        new = split_edge(entry, loop)
+        verify_function(func)
+        assert entry.successors()[0] is new
+        assert new.successors() == [loop]
+        # phis retargeted
+        for phi in loop.phis:
+            assert phi.has_incoming_for(new)
+            assert not phi.has_incoming_for(entry)
+
+    def test_split_back_edge(self, module):
+        func = build_sum_loop(module)
+        loop = func.get_block("loop")
+        new = split_edge(loop, loop)
+        verify_function(func)
+        assert new in loop.successors()

@@ -1,0 +1,118 @@
+"""Dominator tree and dominance frontier tests."""
+
+import pytest
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir import parse_function
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock
+from repro.ir.values import ConstantInt
+
+from ..conftest import build_branchy, build_sum_loop
+
+
+class TestDominance:
+    def test_entry_dominates_all(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        for block in func.blocks:
+            assert tree.dominates(func.entry, block)
+
+    def test_reflexive(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        for block in func.blocks:
+            assert tree.dominates(block, block)
+            assert not tree.strictly_dominates(block, block)
+
+    def test_diamond_idoms(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        entry = func.get_block("entry")
+        assert tree.immediate_dominator(func.get_block("left")) is entry
+        assert tree.immediate_dominator(func.get_block("right")) is entry
+        assert tree.immediate_dominator(func.get_block("join")) is entry
+        assert tree.immediate_dominator(entry) is None
+
+    def test_arms_do_not_dominate_join(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        join = func.get_block("join")
+        assert not tree.dominates(func.get_block("left"), join)
+        assert not tree.dominates(func.get_block("right"), join)
+
+    def test_loop_header_dominates_body(self, module):
+        func = build_sum_loop(module)
+        tree = DominatorTree(func)
+        loop = func.get_block("loop")
+        done = func.get_block("done")
+        assert tree.dominates(loop, loop)
+        assert not tree.dominates(loop, done)  # done reachable from entry
+
+    def test_children_partition(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        entry = func.get_block("entry")
+        assert set(tree.children[entry]) == {
+            func.get_block("left"), func.get_block("right"),
+            func.get_block("join"),
+        }
+
+    def test_unreachable_blocks_excluded(self, module):
+        func = build_branchy(module)
+        dead = BasicBlock("dead", func)
+        IRBuilder(dead).ret(ConstantInt(T.i64, 0))
+        tree = DominatorTree(func)
+        assert not tree.is_reachable(dead)
+        assert not tree.dominates(func.entry, dead)
+
+
+class TestDominanceFrontier:
+    def test_diamond_frontier(self, module):
+        func = build_branchy(module)
+        tree = DominatorTree(func)
+        frontier = tree.dominance_frontier()
+        join = func.get_block("join")
+        assert frontier[func.get_block("left")] == {join}
+        assert frontier[func.get_block("right")] == {join}
+        assert frontier[func.get_block("entry")] == set()
+
+    def test_loop_frontier_contains_header(self, module):
+        func = build_sum_loop(module)
+        tree = DominatorTree(func)
+        frontier = tree.dominance_frontier()
+        loop = func.get_block("loop")
+        # the loop body's frontier contains the header itself (back edge)
+        assert loop in frontier[loop]
+
+    def test_nested_structure(self):
+        func = parse_function("""
+define i64 @nested(i64 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i64 [ 0, %entry ], [ %i2, %outer.latch ]
+  br label %inner
+inner:
+  %j = phi i64 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i64 %j, 1
+  %jc = icmp slt i64 %j2, 10
+  br i1 %jc, label %inner, label %outer.latch
+outer.latch:
+  %i2 = add i64 %i, 1
+  %ic = icmp slt i64 %i2, %n
+  br i1 %ic, label %outer, label %exit
+exit:
+  ret i64 %i
+}
+""")
+        tree = DominatorTree(func)
+        outer = func.get_block("outer")
+        inner = func.get_block("inner")
+        latch = func.get_block("outer.latch")
+        assert tree.immediate_dominator(inner) is outer
+        assert tree.immediate_dominator(latch) is inner
+        frontier = tree.dominance_frontier()
+        assert inner in frontier[inner]
+        assert outer in frontier[latch]

@@ -1,0 +1,133 @@
+"""Liveness tests — the analysis OSR live-variable transfer is built on."""
+
+import pytest
+
+from repro.analysis.liveness import LivenessInfo, live_values_at
+from repro.ir import parse_function
+from repro.ir import types as T
+
+from ..conftest import ISORD_SRC, build_branchy, build_sum_loop
+from repro.ir import parse_module
+
+
+class TestBasicLiveness:
+    def test_argument_live_through_loop(self, module):
+        func = build_sum_loop(module)
+        info = LivenessInfo(func)
+        loop = func.get_block("loop")
+        n = func.args[0]
+        assert n in info.live_in[loop]
+        assert n in info.live_out[loop]
+
+    def test_constant_never_live(self, module):
+        func = build_sum_loop(module)
+        info = LivenessInfo(func)
+        for live_set in info.live_in.values():
+            for value in live_set:
+                assert not hasattr(value, "is_zero")
+
+    def test_dead_after_last_use(self, module):
+        func = build_branchy(module)
+        info = LivenessInfo(func)
+        join = func.get_block("join")
+        # 'doubled' and 'bumped' feed the join phi; phi inputs are uses at
+        # predecessor ends, so they are NOT live-in at the join itself
+        doubled = func.get_block("left").instructions[0]
+        assert doubled not in info.live_in[join]
+        assert doubled in info.live_out[func.get_block("left")]
+
+    def test_phi_result_defined_at_entry(self, module):
+        func = build_sum_loop(module)
+        info = LivenessInfo(func)
+        loop = func.get_block("loop")
+        entry_live = info.live_at_block_entry(loop)
+        names = {v.name for v in entry_live}
+        assert "i" in names and "acc" in names  # the block's own phis
+        assert "n" in names                     # plus the live-through arg
+
+
+class TestLiveBefore:
+    def test_live_before_isord_osr_point(self, isord_module):
+        func = isord_module.get_function("isord")
+        body = func.get_block("loop.body")
+        location = body.instructions[body.first_non_phi_index]
+        live = live_values_at(location)
+        # the paper's Figure 5: live variables at L are (v, n, c, i)
+        assert [v.name for v in live] == ["v", "n", "c", "i"]
+
+    def test_live_before_mid_block(self, isord_module):
+        func = isord_module.get_function("isord")
+        body = func.get_block("loop.body")
+        # before the indirect call: t5 and t6 are live, t2 already consumed
+        call = body.instructions[6]
+        assert call.opcode == "call"
+        live = live_values_at(call)
+        names = {v.name for v in live}
+        assert {"t5", "t6", "n", "c", "i"} <= names
+        assert "t3" not in names  # consumed by the gep before the call
+
+    def test_value_dead_at_its_own_def(self, module):
+        func = build_sum_loop(module)
+        info = LivenessInfo(func)
+        loop = func.get_block("loop")
+        acc2 = loop.instructions[2]
+        assert acc2.name == "acc2"
+        live = info.live_before(acc2)
+        assert acc2 not in live
+
+    def test_deterministic_order_args_first(self, isord_module):
+        func = isord_module.get_function("isord")
+        body = func.get_block("loop.body")
+        location = body.instructions[body.first_non_phi_index]
+        live1 = live_values_at(location)
+        live2 = live_values_at(location)
+        assert [v.name for v in live1] == [v.name for v in live2]
+        # args come first, in signature order
+        assert [v.name for v in live1[:3]] == ["v", "n", "c"]
+
+
+class TestPhiEdgeSemantics:
+    def test_phi_input_live_at_pred_end_only(self):
+        func = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  %x = add i64 %n, 1
+  br label %join
+join:
+  %p = phi i64 [ %x, %entry ]
+  ret i64 %p
+}
+""")
+        info = LivenessInfo(func)
+        entry = func.get_block("entry")
+        join = func.get_block("join")
+        x = entry.instructions[0]
+        assert x in info.live_out[entry]
+        assert x not in info.live_in[join]
+
+    def test_loop_carried_value(self, module):
+        func = build_sum_loop(module)
+        info = LivenessInfo(func)
+        loop = func.get_block("loop")
+        acc2 = loop.instructions[2]
+        # acc2 feeds both the loop phi (via back edge) and the done phi
+        assert acc2 in info.live_out[loop]
+
+    def test_value_live_only_on_one_path(self):
+        func = parse_function("""
+define i64 @f(i64 %n) {
+entry:
+  %x = mul i64 %n, 3
+  %c = icmp sgt i64 %n, 0
+  br i1 %c, label %use, label %skip
+use:
+  %y = add i64 %x, 1
+  ret i64 %y
+skip:
+  ret i64 0
+}
+""")
+        info = LivenessInfo(func)
+        x = func.get_block("entry").instructions[0]
+        assert x in info.live_in[func.get_block("use")]
+        assert x not in info.live_in[func.get_block("skip")]

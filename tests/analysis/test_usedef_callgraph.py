@@ -1,0 +1,129 @@
+"""Def-use helper and call graph tests."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.usedef import (
+    instruction_users,
+    is_trivially_dead,
+    transitive_users,
+    used_outside_block,
+    users_in_block,
+)
+from repro.ir import parse_module
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function
+
+from ..conftest import build_sum_loop
+
+
+class TestUseDef:
+    def test_instruction_users(self, module):
+        func = build_sum_loop(module)
+        loop = func.get_block("loop")
+        i_phi = loop.phis[0]
+        users = instruction_users(i_phi)
+        assert {u.name for u in users} == {"acc2", "i2"}
+
+    def test_users_in_block(self, module):
+        func = build_sum_loop(module)
+        loop = func.get_block("loop")
+        done = func.get_block("done")
+        acc2 = loop.instructions[2]
+        assert len(users_in_block(acc2, loop)) == 1  # the acc phi
+        assert len(users_in_block(acc2, done)) == 1  # the res phi
+
+    def test_used_outside_block(self, module):
+        func = build_sum_loop(module)
+        loop = func.get_block("loop")
+        acc2 = loop.instructions[2]
+        again = loop.instructions[4]
+        assert used_outside_block(acc2, loop)
+        assert not used_outside_block(again, loop)
+
+    def test_transitive_users(self, module):
+        func = build_sum_loop(module)
+        loop = func.get_block("loop")
+        i_phi = loop.phis[0]
+        closure = transitive_users(i_phi)
+        names = {u.name for u in closure if u.name}
+        # i feeds acc2 -> res/acc, i2 -> again/i ...
+        assert {"acc2", "i2", "again", "res"} <= names
+
+    def test_trivially_dead(self, module):
+        func = Function(T.function(T.i64), "f")
+        module.add_function(func)
+        block = BasicBlock("entry", func)
+        b = IRBuilder(block)
+        dead = b.add(b.const_i64(1), b.const_i64(2), "dead")
+        live = b.add(b.const_i64(3), b.const_i64(4), "live")
+        b.ret(live)
+        assert is_trivially_dead(dead)
+        assert not is_trivially_dead(live)
+        # terminators are never trivially dead
+        assert not is_trivially_dead(block.terminator)
+
+
+CG_SRC = """
+define i64 @leaf(i64 %x) {
+entry:
+  ret i64 %x
+}
+
+define i64 @middle(i64 %x) {
+entry:
+  %r = call i64 @leaf(i64 %x)
+  ret i64 %r
+}
+
+define i64 @top(i64 (i64)* %fp, i64 %x) {
+entry:
+  %a = call i64 @middle(i64 %x)
+  %b = call i64 %fp(i64 %a)
+  ret i64 %b
+}
+
+define i64 @selfrec(i64 %n) {
+entry:
+  %c = icmp sle i64 %n, 0
+  br i1 %c, label %base, label %rec
+base:
+  ret i64 0
+rec:
+  %n1 = sub i64 %n, 1
+  %r = call i64 @selfrec(i64 %n1)
+  ret i64 %r
+}
+"""
+
+
+class TestCallGraph:
+    def test_edges(self):
+        m = parse_module(CG_SRC)
+        cg = CallGraph(m)
+        top = m.get_function("top")
+        middle = m.get_function("middle")
+        leaf = m.get_function("leaf")
+        assert cg.callees[top] == [middle]
+        assert cg.callees[middle] == [leaf]
+        assert cg.callers[leaf] == [middle]
+
+    def test_indirect_flag(self):
+        m = parse_module(CG_SRC)
+        cg = CallGraph(m)
+        assert cg.has_indirect_calls[m.get_function("top")]
+        assert not cg.has_indirect_calls[m.get_function("middle")]
+
+    def test_recursion_detection(self):
+        m = parse_module(CG_SRC)
+        cg = CallGraph(m)
+        assert cg.is_recursive(m.get_function("selfrec"))
+        assert not cg.is_recursive(m.get_function("middle"))
+
+    def test_post_order_bottom_up(self):
+        m = parse_module(CG_SRC)
+        cg = CallGraph(m)
+        order = cg.post_order()
+        names = [f.name for f in order]
+        assert names.index("leaf") < names.index("middle") < names.index("top")

@@ -1,0 +1,153 @@
+"""Shared fixtures and IR-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    IRBuilder,
+    Module,
+    parse_module,
+    verify_function,
+)
+from repro.ir import types as T
+from repro.vm import ExecutionEngine
+
+
+@pytest.fixture
+def module():
+    return Module("test")
+
+
+def build_sum_loop(module: Module, name: str = "sum") -> Function:
+    """``sum(n) = 0 + 1 + ... + (n-1)`` as a canonical loop function:
+
+    entry -> loop (phis i, acc) -> done.  Used all over the suite as the
+    standard OSR instrumentation target.
+    """
+    func = Function(T.function(T.i64, T.i64), name, ["n"])
+    module.add_function(func)
+    entry = BasicBlock("entry", func)
+    loop = BasicBlock("loop", func)
+    done = BasicBlock("done", func)
+
+    b = IRBuilder(entry)
+    start = b.icmp("sgt", func.args[0], b.const_i64(0), "start")
+    b.cond_br(start, loop, done)
+
+    b.position_at_end(loop)
+    i = b.phi(T.i64, "i")
+    acc = b.phi(T.i64, "acc")
+    acc2 = b.add(acc, i, "acc2")
+    i2 = b.add(i, b.const_i64(1), "i2")
+    again = b.icmp("slt", i2, func.args[0], "again")
+    b.cond_br(again, loop, done)
+    i.add_incoming(b.const_i64(0), entry)
+    i.add_incoming(i2, loop)
+    acc.add_incoming(b.const_i64(0), entry)
+    acc.add_incoming(acc2, loop)
+
+    b.position_at_end(done)
+    res = b.phi(T.i64, "res")
+    res.add_incoming(b.const_i64(0), entry)
+    res.add_incoming(acc2, loop)
+    b.ret(res)
+
+    verify_function(func)
+    return func
+
+
+def build_branchy(module: Module, name: str = "branchy") -> Function:
+    """``branchy(a, b) = a > b ? a*2 : b+7`` — a diamond CFG."""
+    func = Function(T.function(T.i64, T.i64, T.i64), name, ["a", "b"])
+    module.add_function(func)
+    entry = BasicBlock("entry", func)
+    left = BasicBlock("left", func)
+    right = BasicBlock("right", func)
+    join = BasicBlock("join", func)
+
+    b = IRBuilder(entry)
+    cond = b.icmp("sgt", func.args[0], func.args[1], "cond")
+    b.cond_br(cond, left, right)
+
+    b.position_at_end(left)
+    doubled = b.mul(func.args[0], b.const_i64(2), "doubled")
+    b.br(join)
+
+    b.position_at_end(right)
+    bumped = b.add(func.args[1], b.const_i64(7), "bumped")
+    b.br(join)
+
+    b.position_at_end(join)
+    res = b.phi(T.i64, "res")
+    res.add_incoming(doubled, left)
+    res.add_incoming(bumped, right)
+    b.ret(res)
+
+    verify_function(func)
+    return func
+
+
+ISORD_SRC = """
+define i32 @cmplt(i8* %a, i8* %b) {
+entry:
+  %pa = bitcast i8* %a to i64*
+  %pb = bitcast i8* %b to i64*
+  %va = load i64, i64* %pa
+  %vb = load i64, i64* %pb
+  %c = icmp sgt i64 %va, %vb
+  %r = zext i1 %c to i32
+  ret i32 %r
+}
+
+define i32 @isord(i64* %v, i64 %n, i32 (i8*, i8*)* %c) {
+entry:
+  %t0 = icmp sgt i64 %n, 1
+  br i1 %t0, label %loop.body, label %exit
+loop.header:
+  %t1 = icmp slt i64 %i1, %n
+  br i1 %t1, label %loop.body, label %exit
+loop.body:
+  %i = phi i64 [ %i1, %loop.header ], [ 1, %entry ]
+  %t2 = getelementptr inbounds i64, i64* %v, i64 %i
+  %t3 = add nsw i64 %i, -1
+  %t4 = getelementptr inbounds i64, i64* %v, i64 %t3
+  %t5 = bitcast i64* %t4 to i8*
+  %t6 = bitcast i64* %t2 to i8*
+  %t7 = tail call i32 %c(i8* %t5, i8* %t6)
+  %t8 = icmp sgt i32 %t7, 0
+  %i1 = add nuw nsw i64 %i, 1
+  br i1 %t8, label %exit, label %loop.header
+exit:
+  %res = phi i32 [ 1, %entry ], [ 1, %loop.header ], [ 0, %loop.body ]
+  ret i32 %res
+}
+"""
+
+
+@pytest.fixture
+def isord_module():
+    """The paper's running example (Figure 4 lowered to IR)."""
+    return parse_module(ISORD_SRC)
+
+
+def make_i64_array(values):
+    """An array of i64 values in VM memory; returns the base pointer."""
+    import struct
+
+    from repro.vm import MemoryBuffer
+
+    buf = MemoryBuffer(8 * len(values), "testarray")
+    for index, value in enumerate(values):
+        struct.pack_into("<q", buf.data, 8 * index, value)
+    return (buf, 0)
+
+
+@pytest.fixture
+def engine_factory():
+    def make(module, tier="jit"):
+        return ExecutionEngine(module, tier=tier)
+
+    return make

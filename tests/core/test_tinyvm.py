@@ -1,0 +1,135 @@
+"""TinyVM shell tests (driven programmatically)."""
+
+import pytest
+
+from repro.tinyvm import TinyVM, TinyVMError
+
+LOOP_IR = """
+define i64 @hot(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i64 %acc, %i
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, %n
+  br i1 %c, label %loop, label %done
+done:
+  ret i64 %acc2
+}
+"""
+
+MINIC = """
+long triple(long x) { return x * 3; }
+"""
+
+MATLAB = """
+function y = sq(x)
+  y = x * x;
+end
+
+function r = apply(f, x)
+  r = 0.0;
+  i = 0.0;
+  while i < x
+    r = r + feval(f, i);
+    i = i + 1.0;
+  end
+end
+"""
+
+
+@pytest.fixture
+def vm(tmp_path):
+    shell = TinyVM()
+    ir_file = tmp_path / "loop.ll"
+    ir_file.write_text(LOOP_IR)
+    shell.execute(f"load_ir {ir_file}")
+    return shell
+
+
+class TestLoading:
+    def test_load_ir(self, vm):
+        assert "@hot" in vm.execute("show_funs")
+
+    def test_load_c(self, vm, tmp_path):
+        c_file = tmp_path / "t.c"
+        c_file.write_text(MINIC)
+        out = vm.execute(f"load_c {c_file}")
+        assert "triple" in out
+        assert vm.execute("triple(14)") == "42"
+
+    def test_duplicate_rejected(self, vm, tmp_path):
+        ir_file = tmp_path / "dup.ll"
+        ir_file.write_text(LOOP_IR)
+        with pytest.raises(TinyVMError, match="already loaded"):
+            vm.execute(f"load_ir {ir_file}")
+
+    def test_load_matlab_and_run(self, vm, tmp_path):
+        m_file = tmp_path / "t.m"
+        m_file.write_text(MATLAB)
+        vm.execute(f"load_matlab {m_file}")
+        out = vm.execute("mcvm_run apply @sq 10")
+        assert float(out) == sum(i * i for i in range(10))
+
+
+class TestInspection:
+    def test_show(self, vm):
+        assert "define i64 @hot" in vm.execute("show hot")
+
+    def test_show_blocks(self, vm):
+        out = vm.execute("show_blocks hot")
+        assert "%entry" in out and "%loop" in out
+
+    def test_unknown_function(self, vm):
+        with pytest.raises(TinyVMError, match="no function"):
+            vm.execute("show ghost")
+
+    def test_unknown_command(self, vm):
+        with pytest.raises(TinyVMError, match="unknown command"):
+            vm.execute("frobnicate everything")
+
+    def test_help_and_comments(self, vm):
+        assert "insert_osr" in vm.execute("help")
+        assert vm.execute("# a comment") == ""
+        assert vm.execute("") == ""
+
+
+class TestCallsAndOSR:
+    def test_call(self, vm):
+        assert vm.execute("hot(100)") == str(sum(range(100)))
+
+    def test_insert_osr_then_call(self, vm):
+        out = vm.execute("insert_osr 10 hot loop")
+        assert "continuation" in out
+        assert vm.execute("hot(1000)") == str(sum(range(1000)))
+
+    def test_insert_open_osr_then_call(self, vm):
+        out = vm.execute("insert_open_osr 10 hot loop")
+        assert "stub" in out
+        assert vm.execute("hot(1000)") == str(sum(range(1000)))
+
+    def test_remove_osr(self, vm):
+        vm.execute("insert_osr 10 hot loop")
+        out = vm.execute("remove_osr hot")
+        assert "removed" in out
+        assert "p.osr" not in vm.execute("show hot")
+        assert vm.execute("hot(100)") == str(sum(range(100)))
+        with pytest.raises(TinyVMError):
+            vm.execute("remove_osr hot")
+
+    def test_opt_and_verify(self, vm):
+        out = vm.execute("opt hot optimized")
+        assert "instructions" in out
+        assert "verified OK" in vm.execute("verify")
+
+    def test_stats(self, vm):
+        vm.execute("hot(10)")
+        assert "functions compiled" in vm.execute("stats")
+
+    def test_bad_usage_messages(self, vm):
+        with pytest.raises(TinyVMError, match="usage"):
+            vm.execute("insert_osr 10 hot")
+        with pytest.raises(TinyVMError, match="usage"):
+            vm.execute("show")

@@ -1,0 +1,309 @@
+"""Unit tests for instruction construction, typing rules and CFG edges."""
+
+import pytest
+
+from repro.ir import types as T
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    IndirectCallInst,
+    LoadInst,
+    PhiInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.ir.values import Argument, ConstantFloat, ConstantInt
+
+
+def c64(v):
+    return ConstantInt(T.i64, v)
+
+
+def cf(v):
+    return ConstantFloat(T.f64, v)
+
+
+class TestBinary:
+    def test_add(self):
+        inst = BinaryInst("add", c64(1), c64(2), "x")
+        assert inst.type == T.i64
+        assert inst.opcode == "add"
+
+    def test_flags_carried(self):
+        inst = BinaryInst("add", c64(1), c64(2), "x", ("nsw", "nuw"))
+        assert inst.flags == ("nsw", "nuw")
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryInst("add", c64(1), ConstantInt(T.i32, 2))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("frobnicate", c64(1), c64(2))
+
+    def test_float_ops(self):
+        inst = BinaryInst("fadd", cf(1.0), cf(2.0))
+        assert inst.type == T.f64
+
+    def test_no_side_effects(self):
+        assert not BinaryInst("add", c64(1), c64(2)).has_side_effects()
+
+
+class TestComparisons:
+    def test_icmp_produces_i1(self):
+        inst = ICmpInst("slt", c64(1), c64(2), "c")
+        assert inst.type == T.i1
+        assert inst.predicate == "slt"
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmpInst("weird", c64(1), c64(2))
+
+    def test_icmp_type_mismatch(self):
+        with pytest.raises(TypeError):
+            ICmpInst("eq", c64(1), ConstantInt(T.i8, 1))
+
+    def test_fcmp(self):
+        inst = FCmpInst("olt", cf(1.0), cf(2.0))
+        assert inst.type == T.i1
+
+    def test_fcmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            FCmpInst("slt", cf(1.0), cf(2.0))
+
+
+class TestSelect:
+    def test_select(self):
+        cond = ConstantInt(T.i1, 1)
+        inst = SelectInst(cond, c64(1), c64(2), "s")
+        assert inst.type == T.i64
+        assert inst.condition is cond
+
+    def test_select_requires_i1(self):
+        with pytest.raises(TypeError):
+            SelectInst(c64(1), c64(1), c64(2))
+
+    def test_select_arm_mismatch(self):
+        with pytest.raises(TypeError):
+            SelectInst(ConstantInt(T.i1, 1), c64(1), cf(2.0))
+
+
+class TestMemory:
+    def test_alloca(self):
+        inst = AllocaInst(T.i64, "slot")
+        assert inst.type == T.ptr(T.i64)
+        assert inst.allocated_type == T.i64
+        assert not inst.has_side_effects()
+
+    def test_load(self):
+        slot = AllocaInst(T.i64)
+        inst = LoadInst(slot, "v")
+        assert inst.type == T.i64
+        assert inst.pointer is slot
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            LoadInst(c64(1))
+
+    def test_store(self):
+        slot = AllocaInst(T.i64)
+        inst = StoreInst(c64(5), slot)
+        assert inst.type.is_void
+        assert inst.has_side_effects()
+
+    def test_store_type_mismatch(self):
+        slot = AllocaInst(T.i64)
+        with pytest.raises(TypeError):
+            StoreInst(ConstantInt(T.i32, 5), slot)
+
+    def test_gep_array_result_type(self):
+        slot = AllocaInst(T.array(4, T.i64))
+        inst = GEPInst(slot, [c64(0), c64(1)])
+        assert inst.type == T.ptr(T.i64)
+
+    def test_gep_flat_pointer(self):
+        slot = AllocaInst(T.i64)
+        inst = GEPInst(slot, [c64(3)], inbounds=True)
+        assert inst.type == T.ptr(T.i64)
+        assert inst.inbounds
+
+    def test_gep_struct_requires_constant_index(self):
+        slot = AllocaInst(T.struct(T.i64, T.i32))
+        inst = GEPInst(slot, [c64(0), c64(1)])
+        assert inst.type == T.ptr(T.i32)
+
+    def test_gep_no_indices_rejected(self):
+        slot = AllocaInst(T.i64)
+        with pytest.raises(ValueError):
+            GEPInst(slot, [])
+
+
+class TestCasts:
+    def test_bitcast(self):
+        slot = AllocaInst(T.i64)
+        inst = CastInst("bitcast", slot, T.ptr(T.i8))
+        assert inst.type == T.ptr(T.i8)
+
+    def test_unknown_cast_rejected(self):
+        with pytest.raises(ValueError):
+            CastInst("reinterpret", c64(1), T.i32)
+
+
+class TestCalls:
+    def _callee(self):
+        return Function(T.function(T.i64, T.i64, T.i64), "f", ["a", "b"])
+
+    def test_direct_call(self):
+        callee = self._callee()
+        inst = CallInst(callee, [c64(1), c64(2)], "r")
+        assert inst.type == T.i64
+        assert inst.callee is callee
+        assert inst.has_side_effects()
+
+    def test_call_arity_checked(self):
+        with pytest.raises(TypeError):
+            CallInst(self._callee(), [c64(1)])
+
+    def test_call_arg_types_checked(self):
+        with pytest.raises(TypeError):
+            CallInst(self._callee(), [c64(1), ConstantFloat(T.f64, 2.0)])
+
+    def test_tail_flag(self):
+        inst = CallInst(self._callee(), [c64(1), c64(2)], tail=True)
+        assert inst.is_tail
+
+    def test_indirect_call(self):
+        fn_ptr_ty = T.ptr(T.function(T.i64, T.i64))
+        func = Function(T.function(T.i64, fn_ptr_ty), "g", ["fp"])
+        inst = IndirectCallInst(func.args[0], [c64(1)], "r")
+        assert inst.type == T.i64
+        assert inst.callee is func.args[0]
+        assert inst.args == [inst.get_operand(1)]
+
+    def test_indirect_call_requires_fn_pointer(self):
+        with pytest.raises(TypeError):
+            IndirectCallInst(c64(1), [])
+
+    def test_vararg_call(self):
+        callee = Function(T.function(T.i64, T.i64, vararg=True), "v", ["x"])
+        inst = CallInst(callee, [c64(1), c64(2), c64(3)])
+        assert len(inst.args) == 3
+        with pytest.raises(TypeError):
+            CallInst(callee, [])
+
+
+class TestPhi:
+    def test_add_incoming(self):
+        b1 = BasicBlock("a")
+        b2 = BasicBlock("b")
+        phi = PhiInst(T.i64, "p")
+        phi.add_incoming(c64(1), b1)
+        phi.add_incoming(c64(2), b2)
+        assert phi.incoming_value_for(b1).value == 1
+        assert phi.incoming_value_for(b2).value == 2
+        assert phi.incoming_blocks == [b1, b2]
+
+    def test_incoming_type_checked(self):
+        phi = PhiInst(T.i64)
+        with pytest.raises(TypeError):
+            phi.add_incoming(ConstantInt(T.i32, 1), BasicBlock("a"))
+
+    def test_missing_incoming_raises(self):
+        phi = PhiInst(T.i64)
+        with pytest.raises(KeyError):
+            phi.incoming_value_for(BasicBlock("a"))
+
+    def test_remove_incoming(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        phi = PhiInst(T.i64)
+        phi.add_incoming(c64(1), b1)
+        phi.add_incoming(c64(2), b2)
+        phi.remove_incoming(b1)
+        assert not phi.has_incoming_for(b1)
+        assert phi.incoming_value_for(b2).value == 2
+
+    def test_replace_incoming_block(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        phi = PhiInst(T.i64)
+        phi.add_incoming(c64(1), b1)
+        phi.replace_incoming_block(b1, b2)
+        assert phi.has_incoming_for(b2)
+        assert not phi.has_incoming_for(b1)
+
+
+class TestTerminators:
+    def test_ret_value(self):
+        inst = RetInst(c64(1))
+        assert inst.value.value == 1
+        assert inst.successors() == []
+
+    def test_ret_void(self):
+        assert RetInst(None).value is None
+
+    def test_branch(self):
+        target = BasicBlock("t")
+        inst = BranchInst(target)
+        assert inst.successors() == [target]
+
+    def test_cond_branch(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        inst = CondBranchInst(ConstantInt(T.i1, 1), t, f)
+        assert inst.successors() == [t, f]
+
+    def test_cond_branch_requires_i1(self):
+        with pytest.raises(TypeError):
+            CondBranchInst(c64(1), BasicBlock("t"), BasicBlock("f"))
+
+    def test_replace_successor(self):
+        t, f, new = BasicBlock("t"), BasicBlock("f"), BasicBlock("n")
+        inst = CondBranchInst(ConstantInt(T.i1, 1), t, f)
+        inst.replace_successor(t, new)
+        assert inst.successors() == [new, f]
+
+    def test_switch(self):
+        d, c1 = BasicBlock("d"), BasicBlock("c1")
+        inst = SwitchInst(c64(5), d, [(c64(1), c1)])
+        assert inst.default is d
+        assert inst.cases == [(inst.get_operand(2), c1)]
+        assert set(inst.successors()) == {d, c1}
+
+    def test_switch_case_type_checked(self):
+        with pytest.raises(TypeError):
+            SwitchInst(c64(5), BasicBlock("d"),
+                       [(ConstantInt(T.i32, 1), BasicBlock("c"))])
+
+    def test_unreachable(self):
+        assert UnreachableInst().successors() == []
+
+
+class TestPlacement:
+    def test_erase_from_parent(self):
+        block = BasicBlock("b")
+        a = c64(1)
+        inst = block.append(BinaryInst("add", a, a, "x"))
+        block.append(RetInst(inst))
+        inst2 = block.instructions[0]
+        assert inst2 is inst
+        # cannot erase while used; drop the ret first
+        block.instructions[1].erase_from_parent()
+        inst.erase_from_parent()
+        assert inst.parent is None
+        assert a.num_uses == 0
+
+    def test_move_before(self):
+        block = BasicBlock("b")
+        first = block.append(BinaryInst("add", c64(1), c64(1), "a"))
+        second = block.append(BinaryInst("add", c64(2), c64(2), "b"))
+        second.move_before(first)
+        assert block.instructions == [second, first]

@@ -1,0 +1,327 @@
+"""Parser/printer tests: round trips, specific syntax, and error paths."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir import types as T
+from repro.ir.instructions import (
+    BinaryInst,
+    CallInst,
+    GEPInst,
+    IndirectCallInst,
+    PhiInst,
+    SwitchInst,
+)
+
+from ..conftest import ISORD_SRC
+
+
+def roundtrip(source: str) -> str:
+    module = parse_module(source)
+    verify_module(module)
+    text = print_module(module)
+    module2 = parse_module(text)
+    verify_module(module2)
+    text2 = print_module(module2)
+    assert text == text2
+    return text
+
+
+class TestRoundTrip:
+    def test_isord(self):
+        roundtrip(ISORD_SRC)
+
+    def test_arithmetic_soup(self):
+        roundtrip("""
+define i64 @f(i64 %a, i64 %b) {
+entry:
+  %x = add nsw i64 %a, %b
+  %y = sub i64 %x, 3
+  %z = mul nuw i64 %y, %y
+  %d = sdiv i64 %z, %a
+  %u = udiv i64 %d, 7
+  %r = srem i64 %u, %b
+  %s = shl i64 %r, 2
+  %t = ashr i64 %s, 1
+  %l = lshr i64 %t, 1
+  %an = and i64 %l, 255
+  %o = or i64 %an, 16
+  %e = xor i64 %o, %a
+  ret i64 %e
+}
+""")
+
+    def test_float_and_casts(self):
+        roundtrip("""
+define double @g(double %x, i64 %n) {
+entry:
+  %f = sitofp i64 %n to double
+  %m = fmul double %x, %f
+  %c = fcmp olt double %m, 100.0
+  %i = fptosi double %m to i64
+  %tr = trunc i64 %i to i32
+  %zx = zext i32 %tr to i64
+  %sx = sext i32 %tr to i64
+  %sum = add i64 %zx, %sx
+  %back = sitofp i64 %sum to double
+  ret double %back
+}
+""")
+
+    def test_memory_ops(self):
+        roundtrip("""
+define i64 @h() {
+entry:
+  %slot = alloca [4 x i64]
+  %base = bitcast [4 x i64]* %slot to i64*
+  %p1 = getelementptr inbounds i64, i64* %base, i64 2
+  store i64 42, i64* %p1
+  %v = load i64, i64* %p1
+  ret i64 %v
+}
+""")
+
+    def test_switch(self):
+        roundtrip("""
+define i64 @s(i64 %x) {
+entry:
+  switch i64 %x, label %dflt [ i64 1, label %one i64 2, label %two ]
+one:
+  ret i64 10
+two:
+  ret i64 20
+dflt:
+  ret i64 0
+}
+""")
+
+    def test_void_function_and_unreachable(self):
+        roundtrip("""
+define void @nothing(i64 %x) {
+entry:
+  %c = icmp eq i64 %x, 0
+  br i1 %c, label %dead, label %out
+dead:
+  unreachable
+out:
+  ret void
+}
+""")
+
+    def test_globals(self):
+        roundtrip("""
+@counter = global i64 0
+@msg = constant [6 x i8] c"hello\\00"
+
+define i64 @bump() {
+entry:
+  %v = load i64, i64* @counter
+  %v2 = add i64 %v, 1
+  store i64 %v2, i64* @counter
+  ret i64 %v2
+}
+""")
+
+    def test_select_and_bool_constants(self):
+        roundtrip("""
+define i64 @sel(i1 %c) {
+entry:
+  %x = select i1 %c, i64 1, i64 2
+  %y = select i1 true, i64 %x, i64 0
+  ret i64 %y
+}
+""")
+
+    def test_declarations_and_calls(self):
+        roundtrip("""
+declare i8* @malloc(i64 %size)
+declare void @free(i8* %p)
+
+define i64 @alloc_test() {
+entry:
+  %p = call i8* @malloc(i64 16)
+  call void @free(i8* %p)
+  ret i64 0
+}
+""")
+
+
+class TestParserSpecifics:
+    def test_forward_block_references(self):
+        func = parse_function("""
+define i64 @fwd(i64 %n) {
+entry:
+  br label %later
+later:
+  ret i64 %n
+}
+""")
+        assert [b.name for b in func.blocks] == ["entry", "later"]
+
+    def test_forward_value_reference_in_phi(self):
+        func = parse_function("""
+define i64 @loop(i64 %n) {
+entry:
+  br label %l
+l:
+  %i = phi i64 [ 0, %entry ], [ %i2, %l ]
+  %i2 = add i64 %i, 1
+  %c = icmp slt i64 %i2, %n
+  br i1 %c, label %l, label %out
+out:
+  ret i64 %i2
+}
+""")
+        phi = func.get_block("l").phis[0]
+        i2 = func.get_block("l").instructions[1]
+        assert phi.incoming_value_for(func.get_block("l")) is i2
+
+    def test_out_of_order_definitions(self):
+        module = parse_module("""
+define i64 @caller() {
+entry:
+  %r = call i64 @callee(i64 1)
+  ret i64 %r
+}
+
+define i64 @callee(i64 %x) {
+entry:
+  ret i64 %x
+}
+""")
+        call = module.get_function("caller").entry.instructions[0]
+        assert isinstance(call, CallInst)
+        assert call.callee is module.get_function("callee")
+
+    def test_function_pointer_type_parsing(self):
+        func = parse_function("""
+define i32 @apply(i32 (i8*, i8*)* %fp, i8* %x) {
+entry:
+  %r = tail call i32 %fp(i8* %x, i8* %x)
+  ret i32 %r
+}
+""")
+        call = func.entry.instructions[0]
+        assert isinstance(call, IndirectCallInst)
+        assert call.is_tail
+
+    def test_negative_and_float_literals(self):
+        func = parse_function("""
+define double @lits() {
+entry:
+  %a = fadd double -1.5, 2.5
+  %b = fadd double %a, 1e-05
+  ret double %b
+}
+""")
+        inst = func.entry.instructions[0]
+        assert isinstance(inst, BinaryInst)
+
+    def test_comments_ignored(self):
+        parse_module("""
+; a module comment
+define i64 @c() { ; trailing
+entry:
+  ; full line comment
+  ret i64 0
+}
+""")
+
+
+class TestParserErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(ParseError):
+            parse_module("define void @f() {\nentry:\n  frobnicate\n}")
+
+    def test_undefined_value(self):
+        with pytest.raises(ParseError, match="undefined"):
+            parse_module("define i64 @f() {\nentry:\n  ret i64 %nope\n}")
+
+    def test_undefined_block(self):
+        with pytest.raises(ParseError, match="undefined block"):
+            parse_module(
+                "define void @f() {\nentry:\n  br label %nowhere\n}"
+            )
+
+    def test_unknown_callee(self):
+        with pytest.raises(ParseError, match="unknown global"):
+            parse_module(
+                "define void @f() {\nentry:\n"
+                "  call void @missing()\n  ret void\n}"
+            )
+
+    def test_type_error_reported(self):
+        with pytest.raises(ParseError):
+            parse_module("define i64 @f() {\nentry:\n  ret i64 1.5\n}")
+
+    def test_redefined_value(self):
+        with pytest.raises(ParseError, match="redefinition"):
+            parse_module("""
+define i64 @f() {
+entry:
+  %x = add i64 1, 2
+  %x = add i64 3, 4
+  ret i64 %x
+}
+""")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_module("define i64 @f() ยง")
+
+    def test_parse_function_requires_single_definition(self):
+        with pytest.raises(ParseError):
+            parse_function("declare void @only()")
+
+
+class TestAggregateGlobals:
+    def test_constant_array_roundtrip(self):
+        roundtrip("""
+@table = constant [3 x i64] [i64 10, i64 20, i64 30]
+
+define i64 @f(i64 %i) {
+entry:
+  %p = getelementptr [3 x i64], [3 x i64]* @table, i64 0, i64 %i
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+""")
+
+    def test_constant_array_executes(self):
+        from repro.vm import ExecutionEngine
+
+        module = parse_module("""
+@table = constant [3 x i64] [i64 10, i64 20, i64 30]
+
+define i64 @f(i64 %i) {
+entry:
+  %p = getelementptr [3 x i64], [3 x i64]* @table, i64 0, i64 %i
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+""")
+        engine = ExecutionEngine(module)
+        assert [engine.run("f", i) for i in range(3)] == [10, 20, 30]
+
+    def test_array_arity_checked(self):
+        with pytest.raises(ParseError, match="elements"):
+            parse_module("@t = constant [2 x i64] [i64 1]")
+
+    def test_float_array(self):
+        roundtrip("""
+@weights = constant [2 x double] [double 0.5, double 1.5]
+
+define double @f() {
+entry:
+  %p = getelementptr [2 x double], [2 x double]* @weights, i64 0, i64 1
+  %v = load double, double* %p
+  ret double %v
+}
+""")

@@ -1,0 +1,186 @@
+"""Per-instruction printer form tests and error paths."""
+
+import pytest
+
+from repro.ir import print_function, print_instruction, print_module
+from repro.ir import types as T
+from repro.ir.builder import IRBuilder
+from repro.ir.constexpr import ConstantIntToPtr
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.printer import print_global
+from repro.ir.values import (
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantString,
+    GlobalVariable,
+    UndefValue,
+)
+
+
+@pytest.fixture
+def builder():
+    func = Function(T.function(T.i64, T.i64, T.ptr(T.i64)), "f", ["n", "p"])
+    Module("m").add_function(func)
+    return IRBuilder(BasicBlock("entry", func))
+
+
+class TestInstructionForms:
+    def test_binop_with_flags(self, builder):
+        inst = builder.add(builder.const_i64(1), builder.const_i64(2), "x",
+                           flags=("nsw", "nuw"))
+        assert print_instruction(inst) == "%x = add nsw nuw i64 1, 2"
+
+    def test_icmp(self, builder):
+        inst = builder.icmp("ult", builder.const_i64(1),
+                            builder.const_i64(2), "c")
+        assert print_instruction(inst) == "%c = icmp ult i64 1, 2"
+
+    def test_fcmp(self, builder):
+        inst = builder.fcmp("oeq", builder.const_double(1.0),
+                            builder.const_double(2.0), "c")
+        assert print_instruction(inst) == "%c = fcmp oeq double 1.0, 2.0"
+
+    def test_select(self, builder):
+        inst = builder.select(builder.const_i1(True), builder.const_i64(1),
+                              builder.const_i64(2), "s")
+        assert print_instruction(inst) == (
+            "%s = select i1 true, i64 1, i64 2"
+        )
+
+    def test_alloca_with_count(self, builder):
+        inst = builder.alloca(T.i64, "slot", count=4)
+        assert print_instruction(inst) == "%slot = alloca i64, i64 4"
+
+    def test_load_store(self, builder):
+        func = builder.function
+        load = builder.load(func.args[1], "v")
+        assert print_instruction(load) == "%v = load i64, i64* %p"
+        store = builder.store(load, func.args[1])
+        assert print_instruction(store) == "store i64 %v, i64* %p"
+
+    def test_gep_inbounds(self, builder):
+        func = builder.function
+        inst = builder.gep(func.args[1], [3], "q", inbounds=True)
+        assert print_instruction(inst) == (
+            "%q = getelementptr inbounds i64, i64* %p, i64 3"
+        )
+
+    def test_cast(self, builder):
+        inst = builder.sext(builder.const_i32(1), T.i64, "w")
+        assert print_instruction(inst) == "%w = sext i32 1 to i64"
+
+    def test_void_call(self, builder):
+        module = builder.function.module
+        callee = module.declare_function("sink", T.function(T.void, T.i64))
+        inst = builder.call(callee, [builder.const_i64(1)])
+        assert print_instruction(inst) == "call void @sink(i64 1)"
+
+    def test_tail_call(self, builder):
+        module = builder.function.module
+        callee = module.declare_function("idf", T.function(T.i64, T.i64))
+        inst = builder.call(callee, [builder.const_i64(1)], "r", tail=True)
+        assert print_instruction(inst) == (
+            "%r = tail call i64 @idf(i64 1)"
+        )
+
+    def test_phi(self, builder):
+        func = builder.function
+        other = BasicBlock("other", func)
+        phi = builder.phi(T.i64, "x")
+        phi.add_incoming(builder.const_i64(1), builder.block)
+        phi.add_incoming(builder.const_i64(2), other)
+        assert print_instruction(phi) == (
+            "%x = phi i64 [ 1, %entry ], [ 2, %other ]"
+        )
+
+    def test_ret_void(self):
+        func = Function(T.function(T.void), "v")
+        Module("m2").add_function(func)
+        b = IRBuilder(BasicBlock("entry", func))
+        assert print_instruction(b.ret_void()) == "ret void"
+
+    def test_unreachable(self, builder):
+        assert print_instruction(builder.unreachable()) == "unreachable"
+
+    def test_undef_operand(self, builder):
+        inst = builder.add(UndefValue(T.i64), builder.const_i64(1), "u")
+        assert print_instruction(inst) == "%u = add i64 undef, 1"
+
+    def test_inttoptr_constant_expr(self, builder):
+        const = ConstantIntToPtr(T.ptr(T.i8), 4357824)
+        assert const.ref == "inttoptr (i64 4357824 to i8*)"
+
+
+class TestGlobalForms:
+    def test_scalar_global(self):
+        gv = GlobalVariable(T.i64, "g", ConstantInt(T.i64, 7))
+        assert print_global(gv) == "@g = global i64 7"
+
+    def test_constant_string_global(self):
+        ty = T.array(3, T.i8)
+        gv = GlobalVariable(ty, "s", ConstantString(ty, b"a\x00b"),
+                            is_constant=True)
+        assert print_global(gv) == '@s = constant [3 x i8] c"a\\00b"'
+
+    def test_external_global(self):
+        gv = GlobalVariable(T.i64, "ext", None)
+        assert print_global(gv) == "@ext = external global i64"
+
+    def test_array_global(self):
+        ty = T.array(2, T.i64)
+        gv = GlobalVariable(ty, "t", ConstantArray(ty, [
+            ConstantInt(T.i64, 1), ConstantInt(T.i64, 2),
+        ]), is_constant=True)
+        assert print_global(gv) == "@t = constant [2 x i64] [i64 1, i64 2]"
+
+
+class TestModulePrinting:
+    def test_declaration_printed(self):
+        module = Module("m")
+        module.declare_function("ext", T.function(T.void, T.ptr(T.i8)))
+        text = print_module(module)
+        assert "declare void @ext(i8* %arg0)" in text
+
+    def test_module_order_globals_first(self):
+        module = Module("m")
+        func = Function(T.function(T.void), "f")
+        module.add_function(func)
+        b = IRBuilder(BasicBlock("entry", func))
+        b.ret_void()
+        module.add_global(GlobalVariable(T.i64, "g", ConstantInt(T.i64, 0)))
+        text = print_module(module)
+        assert text.index("@g") < text.index("define")
+
+
+class TestJITErrorPaths:
+    def test_cannot_compile_declaration(self):
+        from repro.vm import ExecutionEngine
+        from repro.vm.jit import JITError, compile_function
+
+        module = Module("m")
+        decl = module.declare_function("ext", T.function(T.void))
+        engine = ExecutionEngine(module)
+        with pytest.raises(JITError):
+            compile_function(decl, engine)
+
+    def test_interp_cannot_run_declaration(self):
+        from repro.vm import ExecutionEngine, Trap
+        from repro.vm.interpreter import Interpreter
+
+        module = Module("m")
+        decl = module.declare_function("ext", T.function(T.void))
+        engine = ExecutionEngine(module)
+        with pytest.raises(Trap):
+            Interpreter(engine).run_function(decl, [])
+
+    def test_wrong_arity_trap(self):
+        from repro.ir import parse_module
+        from repro.vm import ExecutionEngine, Trap
+
+        module = parse_module(
+            "define i64 @f(i64 %x) {\nentry:\n  ret i64 %x\n}"
+        )
+        engine = ExecutionEngine(module, tier="interp")
+        with pytest.raises(Trap, match="expects 1 args"):
+            engine.run("f", 1, 2)

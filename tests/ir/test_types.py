@@ -1,0 +1,172 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import types as T
+
+
+class TestScalarTypes:
+    def test_int_str(self):
+        assert str(T.i64) == "i64"
+        assert str(T.i1) == "i1"
+        assert str(T.IntType(17)) == "i17"
+
+    def test_float_str(self):
+        assert str(T.f32) == "float"
+        assert str(T.f64) == "double"
+
+    def test_void_str(self):
+        assert str(T.void) == "void"
+
+    def test_int_equality_structural(self):
+        assert T.IntType(64) == T.i64
+        assert T.IntType(32) != T.i64
+
+    def test_int_type_interning(self):
+        assert T.int_type(64) is T.i64
+        assert T.int_type(8) is T.i8
+
+    def test_int_type_uncommon_width(self):
+        ty = T.int_type(24)
+        assert ty.bits == 24
+        assert ty == T.IntType(24)
+
+    def test_invalid_int_width(self):
+        with pytest.raises(ValueError):
+            T.IntType(0)
+        with pytest.raises(ValueError):
+            T.IntType(-8)
+
+    def test_invalid_float_width(self):
+        with pytest.raises(ValueError):
+            T.FloatType(16)
+
+    def test_hashable(self):
+        s = {T.i64, T.IntType(64), T.i32, T.f64}
+        assert len(s) == 3
+
+
+class TestIntSemantics:
+    def test_wrap_in_range(self):
+        assert T.i8.wrap(100) == 100
+        assert T.i8.wrap(-100) == -100
+
+    def test_wrap_overflow(self):
+        assert T.i8.wrap(128) == -128
+        assert T.i8.wrap(255) == -1
+        assert T.i8.wrap(256) == 0
+
+    def test_wrap_underflow(self):
+        assert T.i8.wrap(-129) == 127
+
+    def test_wrap_i64_boundary(self):
+        assert T.i64.wrap(2**63) == -(2**63)
+        assert T.i64.wrap(2**63 - 1) == 2**63 - 1
+
+    def test_i1_canonical_zero_one(self):
+        assert T.i1.wrap(1) == 1
+        assert T.i1.wrap(0) == 0
+        assert T.i1.wrap(3) == 1
+        assert T.i1.wrap(-1) == 1
+
+    def test_min_max(self):
+        assert T.i8.min_value == -128
+        assert T.i8.max_signed == 127
+        assert T.i8.max_unsigned == 255
+        assert T.i1.min_value == 0
+        assert T.i1.max_signed == 1
+
+    def test_to_unsigned(self):
+        assert T.i8.to_unsigned(-1) == 255
+        assert T.i8.to_unsigned(5) == 5
+
+
+class TestCompositeTypes:
+    def test_pointer_str(self):
+        assert str(T.ptr(T.i64)) == "i64*"
+        assert str(T.ptr(T.ptr(T.i8))) == "i8**"
+
+    def test_pointer_equality(self):
+        assert T.ptr(T.i64) == T.ptr(T.i64)
+        assert T.ptr(T.i64) != T.ptr(T.i32)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            T.ptr(T.void)
+
+    def test_array(self):
+        arr = T.array(10, T.i64)
+        assert str(arr) == "[10 x i64]"
+        assert arr.count == 10
+        assert arr.element == T.i64
+
+    def test_array_negative_rejected(self):
+        with pytest.raises(ValueError):
+            T.array(-1, T.i8)
+
+    def test_struct_anonymous(self):
+        st = T.struct(T.ptr(T.i8), T.i64)
+        assert str(st) == "{ i8*, i64 }"
+        assert st == T.struct(T.ptr(T.i8), T.i64)
+
+    def test_struct_named_equality_by_name(self):
+        a = T.struct(T.i64, name="obj")
+        b = T.struct(T.i32, name="obj")
+        assert a == b  # identified structs compare by name
+        assert str(a) == "%obj"
+
+    def test_function_type(self):
+        fnty = T.function(T.i32, T.ptr(T.i8), T.i64)
+        assert str(fnty) == "i32 (i8*, i64)"
+        assert fnty.return_type == T.i32
+        assert fnty.params == (T.ptr(T.i8), T.i64)
+
+    def test_function_type_vararg(self):
+        fnty = T.function(T.void, T.i64, vararg=True)
+        assert str(fnty) == "void (i64, ...)"
+        assert fnty.vararg
+
+    def test_function_type_rejects_void_param(self):
+        with pytest.raises(ValueError):
+            T.function(T.i32, T.void)
+
+
+class TestPredicates:
+    def test_is_first_class(self):
+        assert T.i64.is_first_class
+        assert T.ptr(T.i8).is_first_class
+        assert not T.void.is_first_class
+        assert not T.function(T.void).is_first_class
+
+    def test_kind_predicates(self):
+        assert T.i1.is_integer
+        assert T.f64.is_float
+        assert T.ptr(T.i8).is_pointer
+        assert T.void.is_void
+        assert T.array(4, T.i8).is_aggregate
+        assert T.struct(T.i8).is_aggregate
+        assert T.function(T.void).is_function
+
+
+class TestSizeOf:
+    def test_scalars(self):
+        assert T.size_of(T.i8) == 1
+        assert T.size_of(T.i32) == 4
+        assert T.size_of(T.i64) == 8
+        assert T.size_of(T.f32) == 4
+        assert T.size_of(T.f64) == 8
+        assert T.size_of(T.i1) == 1
+
+    def test_pointer(self):
+        assert T.size_of(T.ptr(T.i64)) == 8
+
+    def test_array(self):
+        assert T.size_of(T.array(10, T.i64)) == 80
+        assert T.size_of(T.array(3, T.array(2, T.i32))) == 24
+
+    def test_struct(self):
+        assert T.size_of(T.struct(T.ptr(T.i8), T.ptr(T.i8), T.i64)) == 24
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ValueError):
+            T.size_of(T.void)

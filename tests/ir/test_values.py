@@ -1,0 +1,146 @@
+"""Unit tests for values, use lists and RAUW."""
+
+import pytest
+
+from repro.ir import types as T
+from repro.ir.instructions import BinaryInst, ICmpInst
+from repro.ir.values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+    User,
+    Value,
+)
+
+
+def add(a, b, name="x"):
+    return BinaryInst("add", a, b, name)
+
+
+class TestConstants:
+    def test_constant_int_wraps(self):
+        c = ConstantInt(T.i8, 300)
+        assert c.value == 44
+
+    def test_constant_int_ref(self):
+        assert ConstantInt(T.i64, -3).ref == "-3"
+
+    def test_constant_i1_prints_bool(self):
+        assert ConstantInt(T.i1, 1).ref == "true"
+        assert ConstantInt(T.i1, 0).ref == "false"
+
+    def test_constant_int_requires_int_type(self):
+        with pytest.raises(TypeError):
+            ConstantInt(T.f64, 1)
+
+    def test_constant_float(self):
+        c = ConstantFloat(T.f64, 2.5)
+        assert c.value == 2.5
+        assert c.ref == "2.5"
+
+    def test_constant_float_requires_float_type(self):
+        with pytest.raises(TypeError):
+            ConstantFloat(T.i64, 1.0)
+
+    def test_null(self):
+        n = ConstantNull(T.ptr(T.i8))
+        assert n.ref == "null"
+        assert n.is_zero()
+
+    def test_null_requires_pointer(self):
+        with pytest.raises(TypeError):
+            ConstantNull(T.i64)
+
+    def test_undef(self):
+        u = UndefValue(T.i64)
+        assert u.ref == "undef"
+
+    def test_zero_detection(self):
+        assert ConstantInt(T.i64, 0).is_zero()
+        assert not ConstantInt(T.i64, 1).is_zero()
+        assert ConstantFloat(T.f64, 0.0).is_zero()
+
+
+class TestUseLists:
+    def test_uses_recorded(self):
+        a = ConstantInt(T.i64, 1)
+        b = ConstantInt(T.i64, 2)
+        inst = add(a, b)
+        assert a.num_uses == 1
+        assert b.num_uses == 1
+        assert inst in a.users
+
+    def test_same_value_in_both_slots(self):
+        a = ConstantInt(T.i64, 1)
+        inst = add(a, a)
+        assert a.num_uses == 2
+        assert a.users == [inst]
+
+    def test_set_operand_updates_uses(self):
+        a = ConstantInt(T.i64, 1)
+        b = ConstantInt(T.i64, 2)
+        c = ConstantInt(T.i64, 3)
+        inst = add(a, b)
+        inst.set_operand(0, c)
+        assert a.num_uses == 0
+        assert c.num_uses == 1
+        assert inst.get_operand(0) is c
+
+    def test_set_operand_same_value_noop(self):
+        a = ConstantInt(T.i64, 1)
+        inst = add(a, a)
+        inst.set_operand(0, a)
+        assert a.num_uses == 2
+
+    def test_drop_all_references(self):
+        a = ConstantInt(T.i64, 1)
+        inst = add(a, a)
+        inst.drop_all_references()
+        assert a.num_uses == 0
+        assert inst.num_operands == 0
+
+    def test_replace_all_uses_with(self):
+        a = ConstantInt(T.i64, 1)
+        replacement = ConstantInt(T.i64, 9)
+        u1 = add(a, a)
+        u2 = add(a, ConstantInt(T.i64, 5))
+        a.replace_all_uses_with(replacement)
+        assert a.num_uses == 0
+        assert u1.lhs is replacement and u1.rhs is replacement
+        assert u2.lhs is replacement
+
+    def test_rauw_self_noop(self):
+        a = ConstantInt(T.i64, 1)
+        inst = add(a, a)
+        a.replace_all_uses_with(a)
+        assert a.num_uses == 2
+
+    def test_replace_uses_of_with(self):
+        a = ConstantInt(T.i64, 1)
+        b = ConstantInt(T.i64, 2)
+        c = ConstantInt(T.i64, 3)
+        inst = add(a, b)
+        inst.replace_uses_of_with(a, c)
+        assert inst.lhs is c
+        assert inst.rhs is b
+
+    def test_transitive_chain_uses(self):
+        a = ConstantInt(T.i64, 1)
+        x = add(a, a, "x")
+        y = add(x, a, "y")
+        assert y in x.users
+        assert x.num_uses == 1
+
+
+class TestGlobals:
+    def test_global_variable_type_is_pointer(self):
+        gv = GlobalVariable(T.i64, "g", ConstantInt(T.i64, 7))
+        assert gv.type == T.ptr(T.i64)
+        assert gv.value_type == T.i64
+        assert gv.ref == "@g"
+
+    def test_global_constant_flag(self):
+        gv = GlobalVariable(T.i64, "g", None, is_constant=True)
+        assert gv.is_constant

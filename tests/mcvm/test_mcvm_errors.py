@@ -1,0 +1,126 @@
+"""Error-path and edge-case tests for the mini-McVM."""
+
+import pytest
+
+from repro.mcvm import (
+    BOXED,
+    DOUBLE,
+    HANDLE,
+    McCompileError,
+    McRuntimeError,
+    McVM,
+)
+from repro.mcvm.mctypes import McTypeError, TypeInference, join
+from repro.mcvm.parser import parse_matlab
+
+
+class TestTypeLattice:
+    def test_join_identity(self):
+        assert join(DOUBLE, DOUBLE) == DOUBLE
+        assert join(HANDLE, HANDLE) == HANDLE
+        assert join(BOXED, BOXED) == BOXED
+
+    def test_join_mixes_to_boxed(self):
+        assert join(DOUBLE, HANDLE) == BOXED
+        assert join(DOUBLE, BOXED) == BOXED
+        assert join(HANDLE, BOXED) == BOXED
+
+    def test_arity_mismatch(self):
+        funcs = parse_matlab("function y = f(a, b)\ny = a;\nend")
+        with pytest.raises(McTypeError):
+            TypeInference().infer(funcs[0], [DOUBLE])
+
+
+class TestVMErrors:
+    def test_undefined_function(self):
+        vm = McVM("function y = f(x)\ny = x;\nend")
+        with pytest.raises(McRuntimeError):
+            vm.run("ghost", 1)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(McRuntimeError, match="duplicate"):
+            McVM("""
+function y = f(x)
+y = x;
+end
+
+function y = f(x)
+y = x + 1;
+end
+""")
+
+    def test_undefined_variable_in_compile(self):
+        vm = McVM("function y = f(x)\ny = zzz;\nend")
+        with pytest.raises((McCompileError, McTypeError, KeyError,
+                            McRuntimeError)):
+            vm.run("f", 1)
+
+    def test_break_outside_loop(self):
+        vm = McVM("function y = f(x)\nbreak\ny = x;\nend")
+        with pytest.raises(McCompileError):
+            vm.run("f", 1)
+
+    def test_recursive_function_compiles(self):
+        """Recursion exercises the inference cycle guard (BOXED
+        fallback) and recursive version compilation."""
+        vm = McVM("""
+function y = fact(n)
+  if n <= 1
+    y = 1.0;
+  else
+    y = n * fact(n - 1.0);
+  end
+end
+""")
+        assert vm.run("fact", 10) == 3628800.0
+
+    def test_return_statement(self):
+        vm = McVM("""
+function y = f(x)
+  y = 1.0;
+  if x > 0
+    y = 2.0;
+    return
+  end
+  y = 3.0;
+end
+""")
+        assert vm.run("f", 5) == 2.0
+        assert vm.run("f", -5) == 3.0
+
+    def test_procedure_returns_zero(self):
+        vm = McVM("""
+function go(x)
+  y = x + 1;
+end
+""")
+        assert vm.run("go", 1) == 0.0
+
+    def test_handle_passed_through_call_chain(self):
+        vm = McVM("""
+function y = inner(g, x)
+  y = feval(g, x);
+end
+
+function y = outer(g, x)
+  y = inner(g, x);
+end
+
+function y = sq(x)
+  y = x * x;
+end
+""")
+        assert vm.run("outer", "@sq", 6) == 36.0
+
+    def test_interpreter_matches_compiled_on_recursion(self):
+        src = """
+function y = fib(n)
+  if n <= 1
+    y = n;
+  else
+    y = fib(n - 1.0) + fib(n - 2.0);
+  end
+end
+"""
+        vm = McVM(src)
+        assert vm.run("fib", 12) == vm.run_interpreted("fib", 12) == 144.0

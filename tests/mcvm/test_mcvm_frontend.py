@@ -1,0 +1,347 @@
+"""mini-McVM front-end tests: parser, type inference, interpreter."""
+
+import pytest
+
+from repro.mcvm import (
+    BOXED,
+    DOUBLE,
+    HANDLE,
+    McParseError,
+    McRuntimeError,
+    McVM,
+    TypeInference,
+    parse_matlab,
+)
+from repro.mcvm.interpreter import IIRInterpreter
+from repro.mcvm.mcast import (
+    AssignStmt,
+    BinOp,
+    CallExpr,
+    FevalExpr,
+    ForStmt,
+    FuncHandle,
+    IfStmt,
+    WhileStmt,
+)
+
+
+class TestParser:
+    def test_function_shape(self):
+        funcs = parse_matlab("""
+function y = double_it(x)
+  y = x * 2;
+end
+""")
+        assert len(funcs) == 1
+        f = funcs[0]
+        assert f.name == "double_it"
+        assert f.output == "y"
+        assert f.params == ["x"]
+
+    def test_procedure_without_output(self):
+        funcs = parse_matlab("function go()\nend")
+        assert funcs[0].output is None
+
+    def test_statement_separators(self):
+        funcs = parse_matlab("""
+function y = f(x)
+  a = 1; b = 2
+  y = a + b + x;
+end
+""")
+        assert len(funcs[0].body) == 3
+
+    def test_if_elseif_else(self):
+        funcs = parse_matlab("""
+function y = f(x)
+  if x > 0
+    y = 1;
+  elseif x < 0
+    y = -1;
+  else
+    y = 0;
+  end
+end
+""")
+        stmt = funcs[0].body[0]
+        assert isinstance(stmt, IfStmt)
+        nested = stmt.orelse[0]
+        assert isinstance(nested, IfStmt)
+        assert nested.orelse is not None
+
+    def test_while_gets_loop_id(self):
+        funcs = parse_matlab("""
+function f()
+  while 1
+  end
+  while 2
+  end
+end
+""")
+        loops = [s for s in funcs[0].body if isinstance(s, WhileStmt)]
+        assert loops[0].loop_id != loops[1].loop_id
+
+    def test_for_range(self):
+        funcs = parse_matlab("""
+function y = f(n)
+  y = 0;
+  for i = 1:n
+    y = y + i;
+  end
+  for j = 0:2:10
+    y = y + 1;
+  end
+end
+""")
+        fors = [s for s in funcs[0].body if isinstance(s, ForStmt)]
+        assert fors[0].step is None
+        assert fors[1].step is not None
+
+    def test_feval_and_handles(self):
+        funcs = parse_matlab("""
+function y = f(g, x)
+  y = feval(g, x, x + 1);
+end
+""")
+        assign = funcs[0].body[0]
+        assert isinstance(assign.value, FevalExpr)
+        assert len(assign.value.args) == 2
+
+    def test_power_right_associative(self):
+        funcs = parse_matlab("function y = f(x)\ny = 2 ^ 3 ^ 2;\nend")
+        expr = funcs[0].body[0].value
+        assert isinstance(expr, BinOp) and expr.op == "^"
+        assert isinstance(expr.rhs, BinOp)  # 3^2 grouped right
+
+    def test_comments_and_continuation(self):
+        funcs = parse_matlab("""
+function y = f(x)  % doc comment
+  y = x + ...
+      1;
+end
+""")
+        assert len(funcs[0].body) == 1
+
+    def test_missing_end_reported(self):
+        with pytest.raises(McParseError):
+            parse_matlab("function f()\nwhile 1\n")
+
+
+class TestTypeInference:
+    def _infer(self, src, args):
+        funcs = parse_matlab(src)
+        return TypeInference().infer(funcs[0], args)
+
+    def test_double_arithmetic_stays_double(self):
+        info = self._infer("""
+function y = f(a, b)
+  t = a * b;
+  y = t + 1;
+end
+""", [DOUBLE, DOUBLE])
+        assert info.var_classes["t"] == DOUBLE
+        assert info.return_class == DOUBLE
+
+    def test_feval_result_is_boxed(self):
+        info = self._infer("""
+function y = f(g, x)
+  y = feval(g, x);
+end
+""", [HANDLE, DOUBLE])
+        assert info.return_class == BOXED
+
+    def test_boxing_poisons_accumulator(self):
+        """The paper's central observation: a loop accumulating through
+        feval degrades the whole chain to boxed values."""
+        info = self._infer("""
+function w = f(g, n)
+  w = 0.0;
+  i = 0.0;
+  while i < n
+    w = w + feval(g, i, w);
+    i = i + 1.0;
+  end
+end
+""", [HANDLE, DOUBLE])
+        assert info.var_classes["w"] == BOXED
+        assert info.var_classes["i"] == DOUBLE  # untouched by feval
+
+    def test_direct_call_keeps_double(self):
+        funcs = parse_matlab("""
+function y = g(a, b)
+  y = a + b;
+end
+
+function w = f(n)
+  w = 0.0;
+  i = 0.0;
+  while i < n
+    w = w + g(i, w);
+    i = i + 1.0;
+  end
+end
+""")
+        by_name = {f.name: f for f in funcs}
+        inference = TypeInference(
+            call_oracle=lambda name, args: TypeInference().infer(
+                by_name[name], args
+            ).return_class
+        )
+        info = inference.infer(by_name["f"], [DOUBLE])
+        assert info.var_classes["w"] == DOUBLE
+
+    def test_builtins_are_double(self):
+        info = self._infer("""
+function y = f(x)
+  y = sqrt(abs(x)) + mod(x, 3.0);
+end
+""", [BOXED])
+        assert info.return_class == DOUBLE
+
+    def test_branch_join(self):
+        info = self._infer("""
+function y = f(g, c)
+  if c > 0
+    y = 1.0;
+  else
+    y = feval(g);
+  end
+end
+""", [HANDLE, DOUBLE])
+        assert info.return_class == BOXED
+
+    def test_handle_class(self):
+        info = self._infer("""
+function y = f(x)
+  h = @something;
+  y = x;
+end
+""", [DOUBLE])
+        assert info.var_classes["h"] == HANDLE
+
+
+class TestInterpreter:
+    def run(self, src, name, *args):
+        funcs = {f.name: f for f in parse_matlab(src)}
+        return IIRInterpreter(funcs).call(name, list(args))
+
+    def test_arith(self):
+        assert self.run("""
+function y = f(a, b)
+  y = (a + b) * 2.0 - a / b;
+end
+""", "f", 3.0, 2.0) == 8.5
+
+    def test_while_loop(self):
+        assert self.run("""
+function y = f(n)
+  y = 0.0;
+  i = 1.0;
+  while i <= n
+    y = y + i;
+    i = i + 1.0;
+  end
+end
+""", "f", 100.0) == 5050.0
+
+    def test_for_loop_with_step(self):
+        assert self.run("""
+function y = f()
+  y = 0.0;
+  for i = 0:2:10
+    y = y + i;
+  end
+end
+""", "f") == 30.0
+
+    def test_feval(self):
+        assert self.run("""
+function y = sq(x)
+  y = x * x;
+end
+
+function y = f(n)
+  y = feval(@sq, n);
+end
+""", "f", 7.0) == 49.0
+
+    def test_break_continue(self):
+        assert self.run("""
+function y = f()
+  y = 0.0;
+  i = 0.0;
+  while 1
+    i = i + 1.0;
+    if i > 10.0
+      break
+    end
+    if mod(i, 2.0) == 0.0
+      continue
+    end
+    y = y + i;
+  end
+end
+""", "f") == 25.0
+
+    def test_power_and_unary(self):
+        assert self.run("""
+function y = f(x)
+  y = -x ^ 2 + ~0.0;
+end
+""", "f", 3.0) == -8.0  # -(3^2) + 1
+
+    def test_undefined_function(self):
+        with pytest.raises(McRuntimeError):
+            self.run("function y = f()\ny = ghost(1.0);\nend", "f")
+
+    def test_undefined_variable(self):
+        with pytest.raises(McRuntimeError):
+            self.run("function y = f()\ny = zzz;\nend", "f")
+
+    def test_loop_profiling_counts(self):
+        funcs = {f.name: f for f in parse_matlab("""
+function y = f(n)
+  y = 0.0;
+  i = 0.0;
+  while i < n
+    i = i + 1.0;
+  end
+end
+""")}
+        interp = IIRInterpreter(funcs)
+        interp.call("f", [25.0])
+        assert sum(interp.loop_counts.values()) == 25
+
+
+class TestNegativeStepRanges:
+    SRC = """
+function y = countdown(n)
+  y = 0.0;
+  for i = n:-1:1
+    y = y * 10.0 + i;
+  end
+end
+"""
+
+    def test_interpreter(self):
+        funcs = {f.name: f for f in parse_matlab(self.SRC)}
+        assert IIRInterpreter(funcs).call("countdown", [3.0]) == 321.0
+
+    def test_compiled(self):
+        from repro.mcvm import McVM
+
+        vm = McVM(self.SRC)
+        assert vm.run("countdown", 3) == 321.0
+
+    def test_empty_descending_range(self):
+        from repro.mcvm import McVM
+
+        src = """
+function y = f()
+  y = 0.0;
+  for i = 1:-1:5
+    y = y + 1.0;
+  end
+end
+"""
+        assert McVM(src).run("f") == 0.0

@@ -1,0 +1,135 @@
+"""mc_* runtime natives and boxed-value tests."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.mcvm import McBox, McFunctionHandleValue, McVM
+from repro.mcvm.runtime import (
+    RUNTIME_SIGNATURES,
+    declare_runtime,
+    install_runtime,
+    unbox_to_float,
+)
+from repro.vm import ExecutionEngine, Trap
+from repro.ir.function import Module
+
+
+@pytest.fixture
+def engine():
+    """An engine with the mc_* natives installed (no VM dispatch)."""
+    module = Module("rt")
+    engine = ExecutionEngine(module)
+
+    class _NoVM:
+        def dispatch_feval(self, name, args):
+            raise AssertionError("no dispatch in this test")
+
+    install_runtime(engine, _NoVM())
+    return engine
+
+
+def native(engine, name):
+    return engine._natives[name]
+
+
+class TestBoxing:
+    def test_box_unbox(self, engine):
+        box = native(engine, "mc_box")(2.5)
+        assert isinstance(box, McBox)
+        assert native(engine, "mc_unbox")(box) == 2.5
+
+    def test_unbox_accepts_raw_numbers(self):
+        assert unbox_to_float(3.0) == 3.0
+        assert unbox_to_float(3) == 3.0
+
+    def test_unbox_rejects_garbage(self):
+        with pytest.raises(Trap):
+            unbox_to_float("nope")
+
+    def test_unbox_rejects_handles(self):
+        with pytest.raises(Trap):
+            unbox_to_float(McFunctionHandleValue("f"))
+
+
+class TestGenericOps:
+    @pytest.mark.parametrize("name,a,b,expected", [
+        ("mc_add", 2.0, 3.0, 5.0),
+        ("mc_sub", 2.0, 3.0, -1.0),
+        ("mc_mul", 2.0, 3.0, 6.0),
+        ("mc_div", 3.0, 2.0, 1.5),
+        ("mc_pow", 2.0, 10.0, 1024.0),
+        ("mc_cmp_lt", 1.0, 2.0, 1.0),
+        ("mc_cmp_ge", 1.0, 2.0, 0.0),
+        ("mc_cmp_eq", 2.0, 2.0, 1.0),
+        ("mc_logical_and", 1.0, 0.0, 0.0),
+        ("mc_logical_or", 1.0, 0.0, 1.0),
+    ])
+    def test_boxed_arithmetic(self, engine, name, a, b, expected):
+        result = native(engine, name)(McBox(a), McBox(b))
+        assert isinstance(result, McBox)
+        assert result.value == expected
+
+    def test_neg_and_not(self, engine):
+        assert native(engine, "mc_neg")(McBox(4.0)).value == -4.0
+        assert native(engine, "mc_logical_not")(McBox(0.0)).value == 1.0
+        assert native(engine, "mc_logical_not")(McBox(5.0)).value == 0.0
+
+    def test_truthy(self, engine):
+        assert native(engine, "mc_truthy")(McBox(0.5)) == 1
+        assert native(engine, "mc_truthy")(McBox(0.0)) == 0
+
+    def test_mixed_box_raw(self, engine):
+        """Generic ops accept raw floats too (defensive unboxing)."""
+        assert native(engine, "mc_add")(McBox(1.0), 2.0).value == 3.0
+
+
+class TestSignatures:
+    def test_feval_arities_declared(self):
+        for arity in range(9):
+            assert f"mc_feval_{arity}" in RUNTIME_SIGNATURES
+
+    def test_declare_runtime_idempotent(self):
+        module = Module("m")
+        d1 = declare_runtime(module, "mc_add")
+        d2 = declare_runtime(module, "mc_add")
+        assert d1 is d2
+
+    def test_handle_name_matches(self, engine):
+        check = native(engine, "mc_handle_name_matches")
+        assert check(McFunctionHandleValue("f"),
+                     McFunctionHandleValue("f")) == 1
+        assert check(McFunctionHandleValue("g"),
+                     McFunctionHandleValue("f")) == 0
+        assert check(McBox(1.0), McFunctionHandleValue("f")) == 0
+
+
+class TestDispatchIntegration:
+    SRC = """
+function y = pick(a, b, c)
+  y = a + b * c;
+end
+
+function r = go(h)
+  r = feval(h, 1.0, 2.0, 3.0);
+end
+"""
+
+    def test_feval_dispatch_through_natives(self):
+        vm = McVM(self.SRC)
+        assert vm.run("go", "@pick") == 7.0
+        assert vm.stats["feval_dispatches"] == 1
+
+    def test_feval_non_handle_traps(self):
+        vm = McVM("""
+function r = go(h)
+  r = feval(h, 1.0);
+end
+""")
+        with pytest.raises(Trap, match="not a handle"):
+            vm.run("go", 5.0)
+
+    def test_boxed_version_round_trips_through_dispatcher(self):
+        vm = McVM(self.SRC)
+        result = vm.dispatch_feval("pick", [McBox(1.0), McBox(2.0),
+                                            McBox(3.0)])
+        assert unbox_to_float(result) == 7.0

@@ -1,0 +1,172 @@
+"""Property tests over the front-ends.
+
+* random mini-C programs: -O0 ≡ mem2reg ≡ -O1 ≡ interpreter (differential
+  across every pipeline/tier combination);
+* parser fuzzing: arbitrary input must raise only the documented error
+  types, never crash with an internal exception.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import CodegenError, CParseError, LexError, compile_c
+from repro.ir import ParseError, parse_module
+from repro.mcvm.parser import McParseError, parse_matlab
+from repro.transform import PassManager
+from repro.vm import ExecutionEngine
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# -- random mini-C programs ----------------------------------------------------
+
+@st.composite
+def c_expressions(draw, variables, depth=0):
+    leaves = list(variables) + [str(draw(st.integers(-100, 100)))]
+    if depth >= 3:
+        return draw(st.sampled_from(leaves))
+    kind = draw(st.sampled_from(
+        ["leaf", "leaf", "binop", "cmp", "ternary", "guarded_div"]
+    ))
+    if kind == "leaf":
+        return draw(st.sampled_from(leaves))
+    left = draw(c_expressions(variables, depth=depth + 1))
+    right = draw(c_expressions(variables, depth=depth + 1))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({left} {op} {right})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return f"({left} {op} {right})"
+    if kind == "ternary":
+        cond = draw(c_expressions(variables, depth=depth + 1))
+        return f"({cond} ? {left} : {right})"
+    # guarded division: divisor forced nonzero and positive
+    return f"({left} / (({right} & 7) + 1))"
+
+
+@st.composite
+def c_programs(draw):
+    in_scope = ["a", "b"]
+    statements = []
+    statements.append(f"long x = {draw(c_expressions(in_scope))};")
+    in_scope.append("x")
+    statements.append(f"long y = {draw(c_expressions(in_scope))};")
+    in_scope.append("y")
+    count = draw(st.integers(1, 5))
+    for _ in range(count):
+        target = draw(st.sampled_from(["x", "y"]))
+        if draw(st.booleans()):
+            statements.append(
+                f"{target} = {draw(c_expressions(in_scope))};"
+            )
+        else:
+            statements.append(
+                f"if ({draw(c_expressions(in_scope))}) {target} = "
+                f"{draw(c_expressions(in_scope))}; else {target} = "
+                f"{draw(c_expressions(in_scope))};"
+            )
+    trip = draw(st.integers(0, 8))
+    body = f"x = {draw(c_expressions(in_scope + ['i']))};"
+    statements.append(
+        f"for (long i = 0; i < {trip}; i++) {{ {body} y = y + i; }}"
+    )
+    statements.append("return x ^ y;")
+    return (
+        "long f(long a, long b) {\n    "
+        + "\n    ".join(statements)
+        + "\n}"
+    )
+
+
+class TestMiniCDifferential:
+    @SETTINGS
+    @given(data=st.data())
+    def test_all_tiers_and_pipelines_agree(self, data):
+        source = data.draw(c_programs())
+        a = data.draw(st.integers(-(2**31), 2**31))
+        b = data.draw(st.integers(-(2**31), 2**31))
+
+        results = []
+        for pipeline in (None, "unoptimized", "optimized"):
+            module = compile_c(source)
+            if pipeline:
+                PassManager.pipeline(pipeline).run_module(module)
+            engine = ExecutionEngine(module, tier="jit")
+            results.append(engine.run("f", a, b))
+        module = compile_c(source)
+        engine = ExecutionEngine(module, tier="interp")
+        results.append(engine.run("f", a, b))
+        assert len(set(results)) == 1, (source, results)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_osr_transparent_on_random_c(self, data):
+        """OSR instrumentation on frontend-generated code."""
+        from repro.core import HotCounterCondition, insert_resolved_osr_point
+        from repro.analysis.loops import LoopInfo
+
+        source = data.draw(c_programs())
+        a = data.draw(st.integers(-(2**31), 2**31))
+        b = data.draw(st.integers(-(2**31), 2**31))
+
+        base_module = compile_c(source)
+        PassManager.pipeline("unoptimized").run_module(base_module)
+        expected = ExecutionEngine(base_module).run("f", a, b)
+
+        osr_module = compile_c(source)
+        PassManager.pipeline("unoptimized").run_module(osr_module)
+        func = osr_module.get_function("f")
+        info = LoopInfo(func)
+        if not info.loops:
+            return  # the loop got folded away; nothing to instrument
+        header = info.loops[0].header
+        engine = ExecutionEngine(osr_module)
+        threshold = data.draw(st.integers(1, 6))
+        insert_resolved_osr_point(
+            func, header.instructions[header.first_non_phi_index],
+            HotCounterCondition(threshold), engine=engine,
+        )
+        assert engine.run("f", a, b) == expected
+
+
+# -- parser fuzzing -------------------------------------------------------------
+
+
+class TestParserRobustness:
+    @SETTINGS
+    @given(st.text(max_size=200))
+    def test_ir_parser_controlled_errors(self, text):
+        try:
+            parse_module(text)
+        except ParseError:
+            pass  # the documented failure mode
+
+    @SETTINGS
+    @given(st.text(max_size=200))
+    def test_c_parser_controlled_errors(self, text):
+        try:
+            compile_c(text)
+        except (LexError, CParseError, CodegenError):
+            pass
+
+    @SETTINGS
+    @given(st.text(max_size=200))
+    def test_matlab_parser_controlled_errors(self, text):
+        try:
+            parse_matlab(text)
+        except McParseError:
+            pass
+
+    @SETTINGS
+    @given(st.text(alphabet="()[]{};,=+-*/%<>!&|^~@ \n\tabcxyz019.\"'",
+                   max_size=120))
+    def test_c_parser_punctuation_soup(self, text):
+        try:
+            compile_c(text)
+        except (LexError, CParseError, CodegenError):
+            pass

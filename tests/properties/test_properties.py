@@ -1,0 +1,244 @@
+"""Property-based tests over randomly generated IR programs.
+
+These pin the load-bearing invariants of the stack:
+
+* printer/parser round-trip stability;
+* interpreter ≡ JIT (differential semantics);
+* the optimization pipeline preserves semantics;
+* liveness covers every executed operand;
+* **OSR transparency** — instrumenting and firing an OSR never changes
+  observable results (the paper's correctness contract);
+* McOSR-baseline transparency.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AlwaysCondition,
+    HotCounterCondition,
+    insert_mcosr_point,
+    insert_resolved_osr_point,
+)
+from repro.ir import parse_module, print_function, print_module
+from repro.ir.function import Module
+from repro.ir.verifier import verify_function
+from repro.transform import optimize_function
+from repro.vm import ExecutionEngine
+
+from .strategies import arguments_for, build_program, program_specs
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _fresh(spec, name="prog"):
+    module = Module("prop")
+    func = build_program(spec, module, name)
+    return module, func
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(spec=program_specs())
+    def test_print_parse_print_stable(self, spec):
+        module, func = _fresh(spec)
+        text = print_module(module)
+        module2 = parse_module(text)
+        verify_function(module2.get_function("prog"))
+        assert print_module(module2) == text
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_parsed_function_runs_identically(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+        module2 = parse_module(print_module(module))
+        assert ExecutionEngine(module2).run("prog", *args) == expected
+
+
+class TestDifferentialSemantics:
+    @SETTINGS
+    @given(data=st.data())
+    def test_interp_equals_jit(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, _ = _fresh(spec)
+        jit = ExecutionEngine(module, tier="jit").run("prog", *args)
+        interp = ExecutionEngine(module, tier="interp").run("prog", *args)
+        assert jit == interp
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_optimization_preserves_semantics(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+        optimize_function(func, "optimized")
+        verify_function(func)
+        engine = ExecutionEngine(module)
+        assert engine.run("prog", *args) == expected
+
+
+class TestLivenessSoundness:
+    @SETTINGS
+    @given(spec=program_specs())
+    def test_operands_always_live_before_use(self, spec):
+        from repro.analysis.liveness import LivenessInfo
+        from repro.ir.instructions import Instruction, PhiInst
+        from repro.ir.values import Argument
+
+        module, func = _fresh(spec)
+        info = LivenessInfo(func)
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, PhiInst):
+                    continue
+                live = set(info.live_before(inst))
+                for op in inst.operands:
+                    if isinstance(op, (Argument, Instruction)):
+                        assert op in live, (
+                            f"%{op.name} used by %{inst.name} but not "
+                            f"live before it"
+                        )
+
+
+class TestOSRTransparency:
+    @SETTINGS
+    @given(data=st.data())
+    def test_resolved_osr_any_threshold(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        threshold = data.draw(st.integers(min_value=1, max_value=20))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+
+        module2 = Module("prop2")
+        func2 = build_program(spec, module2, "prog")
+        engine = ExecutionEngine(module2)
+        loop = func2.get_block("loop")
+        location = loop.instructions[loop.first_non_phi_index]
+        result = insert_resolved_osr_point(
+            func2, location, HotCounterCondition(threshold), engine=engine
+        )
+        verify_function(func2)
+        verify_function(result.continuation)
+        assert engine.run("prog", *args) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_resolved_osr_at_random_location(self, data):
+        """OSR at *arbitrary* (mid-block) locations — the flexibility
+        claim — must also be transparent."""
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+
+        module2 = Module("prop2")
+        func2 = build_program(spec, module2, "prog")
+        body = func2.get_block("body")
+        candidates = body.instructions[
+            body.first_non_phi_index:len(body) - 1
+        ]
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(candidates) - 1)
+        )
+        engine = ExecutionEngine(module2)
+        insert_resolved_osr_point(
+            func2, candidates[index], HotCounterCondition(3), engine=engine
+        )
+        verify_function(func2)
+        assert engine.run("prog", *args) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_mcosr_baseline_transparent(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+
+        module2 = Module("prop2")
+        func2 = build_program(spec, module2, "prog")
+        engine = ExecutionEngine(module2)
+        loop = func2.get_block("loop")
+        location = loop.instructions[loop.first_non_phi_index]
+        insert_mcosr_point(func2, location, HotCounterCondition(3),
+                           engine=engine)
+        verify_function(func2)
+        assert engine.run("prog", *args) == expected
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_osr_then_optimize_continuation(self, data):
+        """Optimizing the generated continuation must stay transparent."""
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module, func = _fresh(spec)
+        expected = ExecutionEngine(module).run("prog", *args)
+
+        module2 = Module("prop2")
+        func2 = build_program(spec, module2, "prog")
+        engine = ExecutionEngine(module2)
+        loop = func2.get_block("loop")
+        location = loop.instructions[loop.first_non_phi_index]
+        result = insert_resolved_osr_point(
+            func2, location, HotCounterCondition(2), engine=engine
+        )
+        optimize_function(result.continuation, "optimized")
+        engine.invalidate(result.continuation)
+        assert engine.run("prog", *args) == expected
+
+
+class TestFloatDifferential:
+    from .strategies import build_float_program, float_program_specs
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_float_interp_equals_jit(self, data):
+        from .strategies import build_float_program, float_program_specs
+
+        spec = data.draw(float_program_specs())
+        a = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False, allow_infinity=False))
+        b = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False, allow_infinity=False))
+        module = Module("fprop")
+        build_float_program(spec, module)
+        jit = ExecutionEngine(module, tier="jit").run("fprog", a, b)
+        interp = ExecutionEngine(module, tier="interp").run("fprog", a, b)
+        assert jit == interp or (jit != jit and interp != interp)
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_float_osr_transparent(self, data):
+        from .strategies import build_float_program, float_program_specs
+
+        spec = data.draw(float_program_specs())
+        a = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False, allow_infinity=False))
+        b = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False, allow_infinity=False))
+        module = Module("fprop")
+        build_float_program(spec, module)
+        expected = ExecutionEngine(module).run("fprog", a, b)
+
+        module2 = Module("fprop2")
+        func2 = build_float_program(spec, module2)
+        engine = ExecutionEngine(module2)
+        loop = func2.get_block("loop")
+        threshold = data.draw(st.integers(1, 8))
+        insert_resolved_osr_point(
+            func2, loop.instructions[loop.first_non_phi_index],
+            HotCounterCondition(threshold), engine=engine,
+        )
+        got = engine.run("fprog", a, b)
+        assert got == expected or (got != got and expected != expected)

@@ -1,0 +1,283 @@
+"""simplify-CFG, cloning and inlining tests."""
+
+import pytest
+
+from repro.ir import parse_function, parse_module, print_function, verify_function
+from repro.ir import types as T
+from repro.ir.instructions import CallInst, IndirectCallInst, PhiInst
+from repro.transform.clone import clone_function
+from repro.transform.inline import InlineError, inline_call, inline_known_indirect_calls
+from repro.transform.simplifycfg import simplify_cfg
+from repro.vm import ExecutionEngine
+
+from ..conftest import ISORD_SRC, build_sum_loop, make_i64_array
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_folded(self):
+        func = parse_function("""
+define i64 @f() {
+entry:
+  br i1 true, label %yes, label %no
+yes:
+  ret i64 1
+no:
+  ret i64 2
+}
+""")
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) == 1
+        assert func.entry.terminator.value.value == 1
+
+    def test_straight_line_merge(self):
+        func = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  %a = add i64 %x, 1
+  br label %next
+next:
+  %b = mul i64 %a, 2
+  br label %last
+last:
+  ret i64 %b
+}
+""")
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) == 1
+
+    def test_trivial_phi_removed(self):
+        func = parse_function("""
+define i64 @f(i64 %x) {
+entry:
+  br label %next
+next:
+  %p = phi i64 [ %x, %entry ]
+  ret i64 %p
+}
+""")
+        simplify_cfg(func)
+        verify_function(func)
+        assert not any(isinstance(i, PhiInst) for i in func.instructions())
+
+    def test_loop_not_merged_away(self, module):
+        func = build_sum_loop(module)
+        blocks_before = len(func.blocks)
+        simplify_cfg(func)
+        verify_function(func)
+        assert len(func.blocks) == blocks_before
+
+    def test_semantics_preserved(self):
+        src = """
+define i64 @f(i64 %x) {
+entry:
+  br i1 false, label %dead, label %live
+dead:
+  ret i64 -1
+live:
+  %a = add i64 %x, 5
+  br label %out
+out:
+  ret i64 %a
+}
+"""
+        m = parse_module(src)
+        e = ExecutionEngine(m)
+        assert e.run("f", 1) == 6
+        simplify_cfg(m.get_function("f"))
+        e2 = ExecutionEngine(parse_module(print_function(m.get_function("f"))
+                                          if False else src))
+        m3 = parse_module(src)
+        simplify_cfg(m3.get_function("f"))
+        e3 = ExecutionEngine(m3)
+        assert e3.run("f", 1) == 6
+
+
+class TestClone:
+    def test_clone_structure(self, module):
+        func = build_sum_loop(module)
+        clone, vmap = clone_function(func, "sum.clone")
+        verify_function(clone)
+        assert clone.name == "sum.clone"
+        assert len(clone.blocks) == len(func.blocks)
+        assert clone.instruction_count == func.instruction_count
+
+    def test_clone_is_independent(self, module):
+        func = build_sum_loop(module)
+        clone, _ = clone_function(func, "sum.clone")
+        # mutating the clone must not touch the original
+        clone.get_block("loop").phis[0].name = "renamed"
+        assert func.get_block("loop").phis[0].name == "i"
+
+    def test_vmap_covers_everything(self, module):
+        func = build_sum_loop(module)
+        clone, vmap = clone_function(func, "sum.clone")
+        for arg in func.args:
+            assert vmap[arg] in clone.args
+        for block in func.blocks:
+            assert vmap[block].parent is clone
+        for inst in func.instructions():
+            if not inst.type.is_void:
+                assert vmap[inst].parent.parent is clone
+
+    def test_clone_semantics(self, module, engine_factory):
+        func = build_sum_loop(module)
+        clone_function(func, "sum.clone")
+        engine = engine_factory(module)
+        assert engine.run("sum", 100) == engine.run("sum.clone", 100)
+
+    def test_layout_order_forward_refs(self):
+        # loop.header laid out before loop.body but uses %i1 from it
+        m = parse_module(ISORD_SRC)
+        func = m.get_function("isord")
+        clone, vmap = clone_function(func, "isord.clone")
+        verify_function(clone)
+        header = clone.get_block("loop.header")
+        i1_use = header.instructions[0].get_operand(0)
+        assert i1_use.parent.parent is clone  # remapped, not the original
+
+
+class TestInline:
+    def test_inline_direct_call(self):
+        m = parse_module("""
+define i64 @callee(i64 %x) {
+entry:
+  %r = mul i64 %x, 3
+  ret i64 %r
+}
+
+define i64 @caller(i64 %n) {
+entry:
+  %a = call i64 @callee(i64 %n)
+  %b = add i64 %a, 1
+  ret i64 %b
+}
+""")
+        caller = m.get_function("caller")
+        call = next(i for i in caller.instructions()
+                    if isinstance(i, CallInst))
+        inline_call(call)
+        verify_function(caller)
+        assert not any(isinstance(i, CallInst)
+                       for i in caller.instructions())
+        assert ExecutionEngine(m).run("caller", 5) == 16
+
+    def test_inline_multi_return_callee(self):
+        m = parse_module("""
+define i64 @absval(i64 %x) {
+entry:
+  %c = icmp slt i64 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %n = sub i64 0, %x
+  ret i64 %n
+pos:
+  ret i64 %x
+}
+
+define i64 @caller(i64 %n) {
+entry:
+  %a = call i64 @absval(i64 %n)
+  ret i64 %a
+}
+""")
+        caller = m.get_function("caller")
+        call = next(i for i in caller.instructions()
+                    if isinstance(i, CallInst))
+        inline_call(call)
+        verify_function(caller)
+        engine = ExecutionEngine(m)
+        assert engine.run("caller", -9) == 9
+        assert engine.run("caller", 4) == 4
+
+    def test_inline_void_callee(self):
+        m = parse_module("""
+@flag = global i64 0
+
+define void @set() {
+entry:
+  store i64 1, i64* @flag
+  ret void
+}
+
+define i64 @caller() {
+entry:
+  call void @set()
+  %v = load i64, i64* @flag
+  ret i64 %v
+}
+""")
+        caller = m.get_function("caller")
+        call = next(i for i in caller.instructions()
+                    if isinstance(i, CallInst))
+        inline_call(call)
+        verify_function(caller)
+        assert ExecutionEngine(m).run("caller") == 1
+
+    def test_inline_rejects_recursive(self):
+        m = parse_module("""
+define i64 @rec(i64 %n) {
+entry:
+  %r = call i64 @rec(i64 %n)
+  ret i64 %r
+}
+""")
+        func = m.get_function("rec")
+        call = next(i for i in func.instructions()
+                    if isinstance(i, CallInst))
+        with pytest.raises(InlineError):
+            inline_call(call)
+
+    def test_inline_rejects_declaration(self):
+        m = parse_module("""
+declare i64 @ext(i64 %x)
+
+define i64 @caller(i64 %n) {
+entry:
+  %r = call i64 @ext(i64 %n)
+  ret i64 %r
+}
+""")
+        call = next(i for i in m.get_function("caller").instructions()
+                    if isinstance(i, CallInst))
+        with pytest.raises(InlineError):
+            inline_call(call)
+
+    def test_inline_indirect_with_known_target(self, engine_factory):
+        m = parse_module(ISORD_SRC)
+        isord = m.get_function("isord")
+        cmplt = m.get_function("cmplt")
+        count = inline_known_indirect_calls(isord, lambda call: cmplt)
+        assert count == 1
+        verify_function(isord)
+        assert not any(isinstance(i, IndirectCallInst)
+                       for i in isord.instructions())
+        engine = engine_factory(m)
+        handle = engine.handle_for(cmplt)
+        assert engine.run("isord", make_i64_array([1, 2, 3]), 3, handle) == 1
+        assert engine.run("isord", make_i64_array([3, 1]), 2, handle) == 0
+
+    def test_inline_preserves_phi_edges_after_split(self):
+        # call followed by a branch whose target has a phi naming the block
+        m = parse_module("""
+define i64 @cal(i64 %x) {
+entry:
+  ret i64 %x
+}
+
+define i64 @caller(i64 %n) {
+entry:
+  %a = call i64 @cal(i64 %n)
+  br label %join
+join:
+  %p = phi i64 [ %a, %entry ]
+  ret i64 %p
+}
+""")
+        caller = m.get_function("caller")
+        call = next(i for i in caller.instructions()
+                    if isinstance(i, CallInst))
+        inline_call(call)
+        verify_function(caller)
+        assert ExecutionEngine(m).run("caller", 42) == 42

@@ -1,0 +1,177 @@
+"""JIT code-generation tests: inspect the Python source the JIT emits and
+the lazy-compilation trampoline behaviour."""
+
+import pytest
+
+from repro.ir import parse_module
+from repro.vm import ExecutionEngine
+from repro.vm.jit import compile_function
+
+
+def source_of(src, name):
+    module = parse_module(src)
+    engine = ExecutionEngine(module)
+    compiled = compile_function(module.get_function(name), engine)
+    return compiled.__ir_source__, compiled, engine
+
+
+class TestGeneratedSource:
+    def test_block_dispatch_structure(self):
+        text, _, _ = source_of("""
+define i64 @f(i64 %n) {
+entry:
+  ret i64 %n
+}
+""", "f")
+        assert "while True:" in text
+        assert "_b = 0" in text
+
+    def test_phi_parallel_assignment(self):
+        text, _, _ = source_of("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i64 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 2, %entry ], [ %a, %loop ]
+  %c = icmp slt i64 %b, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %a
+}
+""", "f")
+        # the edge transfer must be one simultaneous tuple assignment:
+        # on the back edge, a and b swap in a single statement
+        swap_lines = [
+            line.strip() for line in text.splitlines()
+            if line.count(",") == 2 and " = " in line
+        ]
+        assert swap_lines, text
+        lhs, rhs = swap_lines[-1].split(" = ")
+        a_name, b_name = (part.strip() for part in lhs.split(","))
+        assert rhs.split(", ") == [b_name, a_name]  # the swap
+
+        # ...and behaviourally: results alternate with the trip count
+        module = parse_module("""
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i64 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 2, %entry ], [ %a, %loop ]
+  %c = icmp slt i64 %b, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %a
+}
+""")
+        engine = ExecutionEngine(module)
+        assert engine.run("f", 0) == 1
+
+    def test_wrapping_inline_masks(self):
+        text, _, _ = source_of("""
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %s = add i8 %a, %b
+  ret i8 %s
+}
+""", "f")
+        assert "& 255" in text  # i8 mask inlined, no helper call
+
+    def test_unsigned_compare_masks_operands(self):
+        text, _, _ = source_of("""
+define i1 @f(i64 %a, i64 %b) {
+entry:
+  %c = icmp ult i64 %a, %b
+  ret i1 %c
+}
+""", "f")
+        assert "& 18446744073709551615" in text
+
+    def test_direct_call_binds_trampoline(self):
+        src = """
+define i64 @leaf(i64 %x) {
+entry:
+  ret i64 %x
+}
+
+define i64 @caller(i64 %x) {
+entry:
+  %r = call i64 @leaf(i64 %x)
+  ret i64 %r
+}
+"""
+        module = parse_module(src)
+        engine = ExecutionEngine(module)
+        compiled = compile_function(module.get_function("caller"), engine)
+        namespace_key = "_f_leaf"
+        # before the first call, the slot holds a trampoline
+        trampoline = compiled.__globals__[namespace_key]
+        assert trampoline.__name__ == "trampoline_leaf"
+        assert compiled(7) == 7
+        # after the call, the namespace was patched to the compiled leaf
+        patched = compiled.__globals__[namespace_key]
+        assert patched is not trampoline
+
+    def test_gep_constant_folding_in_source(self):
+        text, _, _ = source_of("""
+define i64 @f(i64* %p) {
+entry:
+  %q = getelementptr i64, i64* %p, i64 3
+  %v = load i64, i64* %q
+  ret i64 %v
+}
+""", "f")
+        assert "+ 24" in text  # 3 * sizeof(i64) folded at compile time
+
+    def test_switch_lowering(self):
+        text, compiled, engine = source_of("""
+define i64 @f(i64 %x) {
+entry:
+  switch i64 %x, label %d [ i64 1, label %a i64 2, label %bb ]
+a:
+  ret i64 10
+bb:
+  ret i64 20
+d:
+  ret i64 0
+}
+""", "f")
+        assert compiled(1) == 10
+        assert compiled(2) == 20
+        assert compiled(3) == 0
+
+    def test_source_attached_for_debugging(self):
+        text, compiled, _ = source_of("""
+define i64 @f() {
+entry:
+  ret i64 1
+}
+""", "f")
+        assert compiled.__ir_source__ is text
+        assert "def _jit_f" in text
+
+
+class TestRedirection:
+    def test_handle_invalidation_redirects_calls(self):
+        """After invalidate(), function handles pick up new code — the
+        mechanism OSR relies on to swap versions."""
+        src = """
+define i64 @f() {
+entry:
+  ret i64 1
+}
+
+define i64 @g() {
+entry:
+  ret i64 2
+}
+"""
+        module = parse_module(src)
+        engine = ExecutionEngine(module)
+        handle = engine.handle_for(module.get_function("f"))
+        assert handle() == 1
+        # redirect the handle to g (what version replacement does)
+        handle.function = module.get_function("g")
+        handle.invalidate()
+        assert handle() == 2

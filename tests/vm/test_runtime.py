@@ -1,0 +1,118 @@
+"""Runtime memory model tests."""
+
+import pytest
+
+from repro.ir import types as T
+from repro.vm.runtime import (
+    HANDLE_HEAP,
+    NULL,
+    MemoryBuffer,
+    OutputBuffer,
+    gep_offset,
+    is_null,
+    load_scalar,
+    store_scalar,
+)
+
+
+class TestMemoryBuffer:
+    def test_zero_initialized(self):
+        buf = MemoryBuffer(16, "b")
+        assert bytes(buf.data) == b"\x00" * 16
+
+    def test_bounds_check(self):
+        buf = MemoryBuffer(8, "b")
+        with pytest.raises(MemoryError):
+            buf.check(4, 8)
+        with pytest.raises(MemoryError):
+            buf.check(-1, 1)
+        buf.check(0, 8)  # exact fit is fine
+
+    def test_use_after_free(self):
+        buf = MemoryBuffer(8, "b")
+        buf.freed = True
+        with pytest.raises(MemoryError, match="use-after-free"):
+            buf.check(0, 1)
+
+
+class TestScalarAccess:
+    @pytest.mark.parametrize("ty,value", [
+        (T.i8, -5), (T.i16, 1000), (T.i32, -123456), (T.i64, 2**62),
+        (T.i8, 127), (T.i8, -128),
+    ])
+    def test_int_roundtrip(self, ty, value):
+        buf = MemoryBuffer(8, "b")
+        store_scalar(ty, (buf, 0), value)
+        assert load_scalar(ty, (buf, 0)) == value
+
+    def test_int_store_wraps(self):
+        buf = MemoryBuffer(1, "b")
+        store_scalar(T.i8, (buf, 0), 200)
+        assert load_scalar(T.i8, (buf, 0)) == -56
+
+    def test_i1_roundtrip(self):
+        buf = MemoryBuffer(1, "b")
+        store_scalar(T.i1, (buf, 0), 1)
+        assert load_scalar(T.i1, (buf, 0)) == 1
+
+    @pytest.mark.parametrize("ty,value", [(T.f64, 3.25), (T.f32, -0.5)])
+    def test_float_roundtrip(self, ty, value):
+        buf = MemoryBuffer(8, "b")
+        store_scalar(ty, (buf, 0), value)
+        assert load_scalar(ty, (buf, 0)) == value
+
+    def test_f32_rounds(self):
+        buf = MemoryBuffer(4, "b")
+        store_scalar(T.f32, (buf, 0), 0.1)
+        assert abs(load_scalar(T.f32, (buf, 0)) - 0.1) < 1e-7
+        assert load_scalar(T.f32, (buf, 0)) != 0.1
+
+    def test_offset_access(self):
+        buf = MemoryBuffer(24, "b")
+        store_scalar(T.i64, (buf, 8), 42)
+        assert load_scalar(T.i64, (buf, 8)) == 42
+        assert load_scalar(T.i64, (buf, 0)) == 0
+
+    def test_pointer_cells_via_handle_heap(self):
+        buf = MemoryBuffer(8, "b")
+        target = MemoryBuffer(4, "t")
+        store_scalar(T.ptr(T.i64), (buf, 0), (target, 2))
+        loaded = load_scalar(T.ptr(T.i64), (buf, 0))
+        assert loaded == (target, 2)
+
+    def test_out_of_bounds_store(self):
+        buf = MemoryBuffer(4, "b")
+        with pytest.raises(MemoryError):
+            store_scalar(T.i64, (buf, 0), 1)
+
+
+class TestGepOffset:
+    def test_flat_pointer(self):
+        assert gep_offset(T.i64, [3]) == 24
+        assert gep_offset(T.i8, [5]) == 5
+
+    def test_array_descent(self):
+        assert gep_offset(T.array(4, T.i64), [0, 2]) == 16
+        assert gep_offset(T.array(4, T.i64), [1, 0]) == 32
+
+    def test_struct_descent(self):
+        st = T.struct(T.ptr(T.i8), T.ptr(T.i8), T.i64)
+        assert gep_offset(st, [0, 2]) == 16
+
+    def test_nested(self):
+        ty = T.array(2, T.array(3, T.i32))
+        assert gep_offset(ty, [0, 1, 2]) == 12 + 8
+
+
+class TestMisc:
+    def test_null(self):
+        assert is_null(NULL)
+        assert not is_null((MemoryBuffer(1, "x"), 0))
+
+    def test_output_buffer(self):
+        out = OutputBuffer()
+        out.putchar(ord("h"))
+        out.write(b"i")
+        assert out.getvalue() == b"hi"
+        out.clear()
+        assert out.getvalue() == b""
