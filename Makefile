@@ -1,0 +1,18 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-smoke bench-tiers
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# single-trial, tiny workloads — seconds, suitable for CI
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m benchmarks tiers --smoke
+
+# the tier comparison that backs docs/execution-tiers.md
+bench-tiers:
+	PYTHONPATH=src $(PYTHON) -m benchmarks tiers --json BENCH_tiers.json
+
+# the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
+bench:
+	PYTHONPATH=src $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json

@@ -1,0 +1,121 @@
+"""Command-line benchmark runner with JSON output.
+
+::
+
+    python -m benchmarks --json BENCH_tiers.json           # tier benchmarks
+    python -m benchmarks tiers q3 --json out.json          # a subset
+    python -m benchmarks tiers --smoke                     # seconds, for CI
+
+Targets: ``tiers`` (the tiered-execution comparison from
+``bench_tiers.py``, the default), ``cache`` (cold vs. warm JIT
+materialization — implied by ``tiers``) and ``q1``–``q4`` (the paper's
+evaluation drivers from :mod:`repro.experiments`).
+
+The JSON document maps each target to a list of row objects plus an
+``env`` block recording the interpreter version and trial count, so runs
+are comparable across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+from repro.experiments import (
+    format_q1, format_q2, format_q3, format_q4,
+    run_q1, run_q2, run_q3, run_q4,
+)
+
+from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
+
+TARGETS = ("tiers", "cache", "q1", "q2", "q3", "q4")
+
+
+def _rows_to_json(rows):
+    return [row._asdict() for row in rows]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="Run the repository benchmarks and emit JSON results.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["tiers"], choices=TARGETS,
+        help="which benchmark groups to run (default: tiers)",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write results to PATH as JSON")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="timed trials per configuration (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single-trial, tiny workloads (sanity check)")
+    args = parser.parse_args(argv)
+    if args.trials < 1:
+        parser.error("--trials must be >= 1")
+
+    targets = list(dict.fromkeys(args.targets))
+    if "tiers" in targets and "cache" not in targets:
+        targets.insert(targets.index("tiers") + 1, "cache")
+
+    results = {
+        "env": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "trials": 1 if args.smoke else args.trials,
+            "smoke": args.smoke,
+        },
+    }
+    banner = "=" * 72
+
+    for target in targets:
+        print(banner)
+        if target == "tiers":
+            print("Execution tiers — tree-walker vs decoded vs JIT")
+            print(banner)
+            rows = run_tiers(trials=args.trials, smoke=args.smoke)
+            print(format_tiers(rows))
+        elif target == "cache":
+            print("JIT code cache — cold compile vs warm materialization")
+            print(banner)
+            rows = run_cache(trials=args.trials, smoke=args.smoke)
+            print(format_cache(rows))
+        elif target == "q1":
+            print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
+            print(banner)
+            rows = []
+            for level in ("unoptimized", "optimized"):
+                level_rows = run_q1(
+                    level=level, trials=1 if args.smoke else args.trials
+                )
+                print(format_q1(level_rows))
+                rows.extend(level_rows)
+        elif target == "q2":
+            print("Q2 / Table 2 — cost of an OSR transition")
+            print(banner)
+            rows = run_q2(trials=1 if args.smoke else args.trials)
+            print(format_q2(rows))
+        elif target == "q3":
+            print("Q3 / Table 3 — OSR machinery generation")
+            print(banner)
+            rows = run_q3()
+            print(format_q3(rows))
+        elif target == "q4":
+            print("Q4 / Table 4 — feval optimization speedups")
+            print(banner)
+            rows = run_q4(trials=1 if args.smoke else args.trials)
+            print(format_q4(rows))
+        results[target] = _rows_to_json(rows)
+        print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

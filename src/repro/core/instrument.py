@@ -31,9 +31,22 @@ from ..ir.types import FunctionType, PointerType
 from ..ir.values import Value
 from ..ir.verifier import verify_function
 from ..transform.clone import clone_function
+from ..vm.runtime import FunctionHandle
 from .conditions import OSRCondition
 from .continuation import OSRError, generate_continuation
 from .statemap import StateMapping
+
+
+def _unwrap_ir(obj):
+    """Collapse an engine :class:`FunctionHandle` back to its IR function.
+
+    The object table routes interned functions through the engine's
+    handle path, so handles baked into stub IR resolve to the callable
+    :class:`FunctionHandle`; host-side generators want the IR object.
+    """
+    if isinstance(obj, FunctionHandle):
+        return obj.function
+    return obj
 
 
 class ResolvedOSR:
@@ -168,7 +181,9 @@ def insert_resolved_osr_point(
     if verify:
         verify_function(func)
     if engine is not None:
-        engine.invalidate(func)
+        engine.invalidate(func)  # also bumps code_version
+    else:
+        func.bump_code_version()
     return ResolvedOSR(func, continuation, variant, osr_block,
                        cont_block, live_values)
 
@@ -211,7 +226,9 @@ def build_open_osr_stub(
     i8p = T.ptr(T.i8)
 
     def generator_wrapper(f_obj, block_obj, env_obj, val):
-        produced = generator(f_obj, block_obj, env_obj, val)
+        produced = generator(
+            _unwrap_ir(f_obj), block_obj, _unwrap_ir(env_obj), val
+        )
         if isinstance(produced, Function):
             return engine.handle_for(produced)
         if callable(produced):
@@ -372,7 +389,9 @@ def _emit_inline_generation(builder, func, live_values, generator, env,
     gen_fnty = _generator_type(cont_fnty)
 
     def generator_wrapper(f_obj, block_obj, env_obj, val):
-        produced = generator(f_obj, block_obj, env_obj, val)
+        produced = generator(
+            _unwrap_ir(f_obj), block_obj, _unwrap_ir(env_obj), val
+        )
         if isinstance(produced, Function):
             return engine.handle_for(produced)
         if callable(produced):
@@ -434,5 +453,7 @@ def remove_osr_point(point, engine=None) -> Function:
     aggressive_dce(func)
     verify_function(func)
     if engine is not None:
-        engine.invalidate(func)
+        engine.invalidate(func)  # also bumps code_version
+    else:
+        func.bump_code_version()
     return func

@@ -185,6 +185,8 @@ def insert_mcosr_point(
     if verify:
         verify_function(func)
     if engine is not None:
-        engine.invalidate(func)
+        engine.invalidate(func)  # also bumps code_version
+    else:
+        func.bump_code_version()
     return McOSRPoint(func, flag, pool, osr_block, landing)
 

@@ -169,7 +169,12 @@ def _lex_string(source: str, i: int, line: int):
             else:
                 raise LexError(f"unknown escape \\{esc}", line)
         else:
-            out.append(ord(ch))
+            code = ord(ch)
+            if code > 255:
+                raise LexError(
+                    f"non-byte character {ch!r} in string literal", line
+                )
+            out.append(code)
         i += 1
     if i >= n:
         raise LexError("unterminated string literal", line)

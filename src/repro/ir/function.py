@@ -133,7 +133,8 @@ class Function(GlobalValue):
     as OSR stubs do) needs no special casing.
     """
 
-    __slots__ = ("function_type", "args", "_blocks", "attributes")
+    __slots__ = ("function_type", "args", "_blocks", "attributes",
+                 "_code_version", "_cached_code")
 
     def __init__(self, function_type: FunctionType, name: str,
                  arg_names: Optional[Sequence[str]] = None):
@@ -151,6 +152,13 @@ class Function(GlobalValue):
         self._blocks: List[BasicBlock] = []
         #: free-form attribute set ('nocapture', 'readonly', ...)
         self.attributes: Dict[str, object] = {}
+        #: monotonically increasing stamp bumped whenever the body is
+        #: rewritten (transform passes, OSR instrumentation); execution
+        #: tiers key their caches on it
+        self._code_version: int = 0
+        #: cached tier artifacts (see repro.vm.jit.CompiledCode); validated
+        #: against (code_version, code_shape) before reuse
+        self._cached_code = None
 
     # -- declarations vs definitions ------------------------------------------
 
@@ -211,6 +219,30 @@ class Function(GlobalValue):
     @property
     def instruction_count(self) -> int:
         return sum(len(b) for b in self._blocks)
+
+    # -- code versioning ---------------------------------------------------------
+
+    @property
+    def code_version(self) -> int:
+        """Version stamp for compiled-code caches.
+
+        Bumped by :meth:`bump_code_version` whenever the body is rewritten
+        (pass pipelines, OSR instrumentation, engine invalidation).  Tiers
+        cache decoded/compiled artifacts keyed on this stamp.
+        """
+        return self._code_version
+
+    def bump_code_version(self) -> int:
+        self._code_version += 1
+        return self._code_version
+
+    def code_shape(self) -> Tuple[int, int]:
+        """A cheap structural fingerprint: (block count, instruction count).
+
+        Used alongside :attr:`code_version` to invalidate cached code when
+        a pass mutated the body without bumping the version explicitly.
+        """
+        return (len(self._blocks), sum(len(b) for b in self._blocks))
 
     # -- naming hygiene ----------------------------------------------------------
 

@@ -8,6 +8,7 @@ truncating signed division.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from ..ir.function import Function
@@ -67,6 +68,22 @@ def fold_int_binop(opcode: str, type: IntType, a: int, b: int) -> Optional[int]:
     return None
 
 
+def float_to_int(value: float) -> int:
+    """Total float-to-int front half of fptosi/fptoui.
+
+    ``int()`` raises on non-finite input; LLVM calls that poison.  The
+    folder and every execution tier must agree on *some* value, so: NaN
+    converts to 0 and the infinities saturate to the 64-bit signed range
+    — the destination type's wrap then applies as usual.
+    """
+    try:
+        return int(value)
+    except OverflowError:
+        return (2**63 - 1) if value > 0 else -(2**63)
+    except ValueError:
+        return 0
+
+
 def fold_float_binop(opcode: str, a: float, b: float) -> Optional[float]:
     try:
         if opcode == "fadd":
@@ -78,8 +95,6 @@ def fold_float_binop(opcode: str, a: float, b: float) -> Optional[float]:
         if opcode == "fdiv":
             return a / b if b != 0.0 else None
         if opcode == "frem":
-            import math
-
             return math.fmod(a, b) if b != 0.0 else None
     except (OverflowError, ValueError):
         return None
@@ -190,7 +205,7 @@ def _fold_instruction(inst: Instruction) -> Optional[Value]:
                 )
         if isinstance(value, ConstantFloat) and isinstance(inst.type, IntType):
             if inst.opcode in ("fptosi", "fptoui"):
-                return ConstantInt(inst.type, int(value.value))
+                return ConstantInt(inst.type, float_to_int(value.value))
         if isinstance(value, ConstantFloat) and isinstance(inst.type, FloatType):
             if inst.opcode in ("fptrunc", "fpext"):
                 return ConstantFloat(inst.type, value.value)

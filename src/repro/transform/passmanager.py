@@ -65,6 +65,10 @@ class PassManager:
             PASSES[name](func)
             if self.verify:
                 verify_function(func)
+        if self.pass_names:
+            # the IR may have changed shape: stale decoded/JIT artifacts
+            # keyed on the old version must not be reused
+            func.bump_code_version()
         return func
 
     def run_module(self, module: Module) -> Module:

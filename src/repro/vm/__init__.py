@@ -1,14 +1,19 @@
 """repro.vm — execution engine (MCJIT substitute).
 
-Runs repro IR through two interchangeable tiers: a reference interpreter
-and a JIT that lowers IR to Python source.  Provides lazy compilation,
-native symbol resolution, global storage, and the object table that OSR
-stubs use to carry IR objects through ``inttoptr`` constants.
+Runs repro IR through interchangeable tiers: a tree-walking reference
+interpreter (the semantic oracle), a pre-decoded closure interpreter, and
+a JIT that lowers IR to Python source — with profile-driven tier-up from
+the decoded interpreter to the JIT as the default mixed mode.  Provides
+lazy compilation, a cross-engine compiled-code cache, native symbol
+resolution, global storage, and the object table that OSR stubs use to
+carry IR objects through ``inttoptr`` constants.
 """
 
-from .engine import ExecutionEngine, ObjectTable
+from .decode import DecodedFunction, DecodeError, decode_function
+from .engine import TIERS, ExecutionEngine, ObjectTable
 from .interpreter import Interpreter, StepLimitExceeded, Trap
-from .jit import JITError, compile_function
+from .jit import CompiledCode, JITError, codegen_function, compile_function
+from .profile import FunctionProfile, TierProfiler
 from .runtime import (
     HANDLE_HEAP,
     NULL,
@@ -18,17 +23,26 @@ from .runtime import (
     OutputBuffer,
     is_null,
     load_scalar,
+    scalar_accessors,
     store_scalar,
 )
 
 __all__ = [
     "ExecutionEngine",
     "ObjectTable",
+    "TIERS",
     "Interpreter",
     "Trap",
     "StepLimitExceeded",
     "JITError",
+    "CompiledCode",
+    "codegen_function",
     "compile_function",
+    "DecodeError",
+    "DecodedFunction",
+    "decode_function",
+    "FunctionProfile",
+    "TierProfiler",
     "FunctionHandle",
     "NativeHandle",
     "MemoryBuffer",
@@ -37,5 +51,6 @@ __all__ = [
     "HANDLE_HEAP",
     "is_null",
     "load_scalar",
+    "scalar_accessors",
     "store_scalar",
 ]

@@ -1,0 +1,887 @@
+"""Pre-decoded interpreter tier.
+
+Lowers a :class:`~repro.ir.function.Function` *once* into per-block
+tuples of argument-resolving closures and then executes those closures in
+a tight loop.  This removes the three per-step costs of the tree-walking
+reference interpreter (``repro.vm.interpreter``):
+
+* the ``isinstance`` dispatch chain over ~18 instruction classes;
+* per-operand ``_eval`` (constant re-evaluation, ``id()`` hashing into a
+  dict-shaped frame);
+* the opcode table lookups inside ``fold_int_binop``/``fold_float_binop``.
+
+Frames become flat Python lists.  Every SSA value (argument, phi,
+instruction result) is assigned a fixed slot at decode time; constants are
+folded to runtime values once and pre-filled into a frame *template* that
+each invocation copies.  Phi nodes compile to per-edge parallel-copy
+closures executed by the predecessor's terminator, preserving LLVM's
+simultaneous-read semantics.
+
+The tree-walker remains the semantic oracle: the decoded tier is
+differential-tested against it (``tests/properties``), and any function it
+cannot decode (:class:`DecodeError`) falls back to the tree-walker.
+
+Frame layout::
+
+    slot 0             per-invocation alloca list (freed on exit)
+    slot 1             return-value slot
+    slot 2..2+nargs    arguments
+    ...                instruction results (one slot per non-void result)
+    tail               decode-time constants (pre-filled in the template)
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..ir import types as T
+from ..ir.constexpr import ConstantIntToPtr
+from ..ir.function import BasicBlock, Function
+from ..ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CondBranchInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    IndirectCallInst,
+    Instruction,
+    LoadInst,
+    RetInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from ..ir.values import (
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .interpreter import StepLimitExceeded, Trap, _pointer_compare
+from .jit import (
+    _f32_round_trip,
+    _make_sdiv,
+    _make_srem,
+    _nonzero,
+    _shift_amount,
+)
+from ..transform.constfold import float_to_int
+from .runtime import NULL, MemoryBuffer, gep_offset, scalar_accessors
+
+_sdiv = _make_sdiv(Trap)
+_srem = _make_srem(Trap)
+_fmod = math.fmod
+
+_SIGNED_CMP = {
+    "eq": operator.eq, "ne": operator.ne,
+    "slt": operator.lt, "sle": operator.le,
+    "sgt": operator.gt, "sge": operator.ge,
+}
+_UNSIGNED_CMP = {
+    "ult": operator.lt, "ule": operator.le,
+    "ugt": operator.gt, "uge": operator.ge,
+}
+_ORDERED_FCMP = {
+    "oeq": operator.eq, "one": operator.ne,
+    "olt": operator.lt, "ole": operator.le,
+    "ogt": operator.gt, "oge": operator.ge,
+}
+
+#: sentinel block index meaning "return frame[1]"
+RETURN = -1
+
+#: reserved frame slots (allocas list, return value)
+_RESERVED = 2
+
+
+class DecodeError(Exception):
+    """Raised when a function cannot be lowered to closures; the engine
+    falls back to the tree-walking interpreter."""
+
+
+class _Decoder:
+    """Builds the slot map and per-instruction closures for one function."""
+
+    def __init__(self, func: Function, engine):
+        self.func = func
+        self.engine = engine
+        self._slots: Dict[int, int] = {}
+        self._template: List[Any] = [None] * _RESERVED
+        self._block_index: Dict[int, int] = {}
+
+    # -- slots -----------------------------------------------------------------
+
+    def _new_slot(self, initial=None) -> int:
+        slot = len(self._template)
+        self._template.append(initial)
+        return slot
+
+    def _const_runtime_value(self, value: Constant):
+        """Decode-time evaluation of a constant operand (mirrors
+        ``Interpreter._const_value``)."""
+        engine = self.engine
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, ConstantNull):
+            return NULL
+        if isinstance(value, UndefValue):
+            if value.type.is_float:
+                return 0.0
+            if value.type.is_pointer:
+                return NULL
+            return 0
+        if isinstance(value, ConstantIntToPtr):
+            return engine.object_table.resolve(value.value)
+        if isinstance(value, Function):
+            return engine.handle_for(value)
+        if isinstance(value, GlobalVariable):
+            return engine.global_pointer(value)
+        if isinstance(value, ConstantString):
+            raise DecodeError(
+                "constant strings are only valid as global initializers"
+            )
+        raise DecodeError(f"cannot evaluate constant {value!r}")
+
+    def slot_of(self, value: Value) -> int:
+        """Frame slot for an operand; constants get template-filled slots."""
+        key = id(value)
+        slot = self._slots.get(key)
+        if slot is None:
+            if isinstance(value, Constant):
+                slot = self._new_slot(self._const_runtime_value(value))
+            else:
+                raise DecodeError(f"operand {value!r} has no slot")
+            self._slots[key] = slot
+        return slot
+
+    def define(self, value: Value) -> int:
+        """Allocate the result slot for an argument/instruction."""
+        slot = self._new_slot()
+        self._slots[id(value)] = slot
+        return slot
+
+    # -- top level -------------------------------------------------------------
+
+    def decode(self) -> "DecodedFunction":
+        func = self.func
+        if func.is_declaration:
+            raise DecodeError(f"cannot decode declaration @{func.name}")
+
+        arg_slots = tuple(self.define(arg) for arg in func.args)
+        blocks = func.blocks
+        for index, block in enumerate(blocks):
+            self._block_index[id(block)] = index
+            if block.terminator is None:
+                # the tree-walker executes the partial block before
+                # trapping; fall back to it to preserve side effects
+                raise DecodeError(f"block %{block.name} is unterminated")
+        # result slots must exist before any operand references them
+        # (phis and back edges reference later definitions)
+        for block in blocks:
+            for inst in block.instructions:
+                if not inst.type.is_void:
+                    self.define(inst)
+
+        decoded_blocks = []
+        for block in blocks:
+            steps = tuple(
+                self._decode_instruction(inst)
+                for inst in block.instructions[block.first_non_phi_index:-1]
+            )
+            term = self._decode_terminator(block)
+            decoded_blocks.append((steps, term, len(steps) + 1))
+
+        return DecodedFunction(
+            func, tuple(decoded_blocks), tuple(self._template), arg_slots,
+        )
+
+    # -- phi edges --------------------------------------------------------------
+
+    def _edge_copy(self, source: BasicBlock, target: BasicBlock
+                   ) -> Optional[Callable]:
+        """Parallel-copy closure for the CFG edge ``source -> target``."""
+        phis = target.phis
+        if not phis:
+            return None
+        pairs = [
+            (self.slot_of(phi), self.slot_of(phi.incoming_value_for(source)))
+            for phi in phis
+        ]
+        if len(pairs) == 1:
+            dst, src = pairs[0]
+
+            def copy1(frame):
+                frame[dst] = frame[src]
+
+            return copy1
+        dsts = tuple(d for d, _ in pairs)
+        srcs = tuple(s for _, s in pairs)
+
+        def copyn(frame):
+            values = [frame[s] for s in srcs]
+            for d, v in zip(dsts, values):
+                frame[d] = v
+
+        return copyn
+
+    def _goto(self, source: BasicBlock, target: BasicBlock
+              ) -> Tuple[Optional[Callable], int]:
+        return self._edge_copy(source, target), self._block_index[id(target)]
+
+    # -- terminators ------------------------------------------------------------
+
+    def _decode_terminator(self, block: BasicBlock) -> Callable:
+        inst = block.terminator
+
+        if isinstance(inst, RetInst):
+            if inst.value is None:
+
+                def ret_void(frame):
+                    frame[1] = None
+                    return RETURN
+
+                return ret_void
+            src = self.slot_of(inst.value)
+
+            def ret(frame):
+                frame[1] = frame[src]
+                return RETURN
+
+            return ret
+
+        if isinstance(inst, BranchInst):
+            copy, target = self._goto(block, inst.target)
+            if copy is None:
+                return lambda frame: target
+
+            def br(frame):
+                copy(frame)
+                return target
+
+            return br
+
+        if isinstance(inst, CondBranchInst):
+            cond = self.slot_of(inst.condition)
+            tcopy, ttarget = self._goto(block, inst.true_target)
+            fcopy, ftarget = self._goto(block, inst.false_target)
+            if tcopy is None and fcopy is None:
+
+                def cbr_plain(frame):
+                    return ttarget if frame[cond] else ftarget
+
+                return cbr_plain
+
+            def cbr(frame):
+                if frame[cond]:
+                    if tcopy is not None:
+                        tcopy(frame)
+                    return ttarget
+                if fcopy is not None:
+                    fcopy(frame)
+                return ftarget
+
+            return cbr
+
+        if isinstance(inst, SwitchInst):
+            value = self.slot_of(inst.value)
+            table: Dict[int, Tuple[Optional[Callable], int]] = {}
+            for const, target in inst.cases:
+                # first matching case wins, as in the linear scan
+                table.setdefault(const.value, self._goto(block, target))
+            default = self._goto(block, inst.default)
+            get = table.get
+
+            def switch(frame):
+                copy, target = get(frame[value], default)
+                if copy is not None:
+                    copy(frame)
+                return target
+
+            return switch
+
+        if isinstance(inst, UnreachableInst):
+
+            def unreachable(frame):
+                raise Trap("reached 'unreachable'")
+
+            return unreachable
+
+        raise DecodeError(f"cannot decode terminator {type(inst).__name__}")
+
+    # -- non-terminator instructions ---------------------------------------------
+
+    def _decode_instruction(self, inst: Instruction) -> Callable:
+        if isinstance(inst, BinaryInst):
+            return self._decode_binop(inst)
+        if isinstance(inst, ICmpInst):
+            return self._decode_icmp(inst)
+        if isinstance(inst, FCmpInst):
+            return self._decode_fcmp(inst)
+        if isinstance(inst, SelectInst):
+            dst = self.slot_of(inst)
+            cond = self.slot_of(inst.condition)
+            tval = self.slot_of(inst.true_value)
+            fval = self.slot_of(inst.false_value)
+
+            def select(frame):
+                frame[dst] = frame[tval] if frame[cond] else frame[fval]
+
+            return select
+        if isinstance(inst, AllocaInst):
+            dst = self.slot_of(inst)
+            size = T.size_of(inst.allocated_type) * inst.count
+            label = f"alloca.{inst.name}"
+
+            def alloca(frame):
+                buf = MemoryBuffer(size, label)
+                frame[0].append(buf)
+                frame[dst] = (buf, 0)
+
+            return alloca
+        if isinstance(inst, LoadInst):
+            dst = self.slot_of(inst)
+            pointer = self.slot_of(inst.pointer)
+            load, _ = scalar_accessors(inst.type)
+
+            def load_step(frame):
+                frame[dst] = load(frame[pointer])
+
+            return load_step
+        if isinstance(inst, StoreInst):
+            value = self.slot_of(inst.value)
+            pointer = self.slot_of(inst.pointer)
+            _, store = scalar_accessors(inst.value.type)
+
+            def store_step(frame):
+                store(frame[pointer], frame[value])
+
+            return store_step
+        if isinstance(inst, GEPInst):
+            return self._decode_gep(inst)
+        if isinstance(inst, CastInst):
+            return self._decode_cast(inst)
+        if isinstance(inst, CallInst):
+            return self._decode_call(inst)
+        if isinstance(inst, IndirectCallInst):
+            return self._decode_indirect_call(inst)
+        raise DecodeError(f"cannot decode {type(inst).__name__}")
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def _decode_binop(self, inst: BinaryInst) -> Callable:
+        dst = self.slot_of(inst)
+        a = self.slot_of(inst.lhs)
+        b = self.slot_of(inst.rhs)
+        op = inst.opcode
+
+        if isinstance(inst.type, T.FloatType):
+            if op == "fadd":
+
+                def fadd(frame):
+                    try:
+                        frame[dst] = frame[a] + frame[b]
+                    except (OverflowError, ValueError):
+                        raise Trap("float trap in fadd") from None
+
+                return fadd
+            if op == "fsub":
+
+                def fsub(frame):
+                    try:
+                        frame[dst] = frame[a] - frame[b]
+                    except (OverflowError, ValueError):
+                        raise Trap("float trap in fsub") from None
+
+                return fsub
+            if op == "fmul":
+
+                def fmul(frame):
+                    try:
+                        frame[dst] = frame[a] * frame[b]
+                    except (OverflowError, ValueError):
+                        raise Trap("float trap in fmul") from None
+
+                return fmul
+            if op == "fdiv":
+
+                def fdiv(frame):
+                    d = frame[b]
+                    if d == 0.0:
+                        raise Trap("float trap in fdiv")
+                    frame[dst] = frame[a] / d
+
+                return fdiv
+            if op == "frem":
+
+                def frem(frame):
+                    d = frame[b]
+                    if d == 0.0:
+                        raise Trap("float trap in frem")
+                    try:
+                        frame[dst] = _fmod(frame[a], d)
+                    except (OverflowError, ValueError):
+                        raise Trap("float trap in frem") from None
+
+                return frem
+            raise DecodeError(f"unknown float binop {op}")
+
+        bits = inst.type.bits
+        mask = (1 << bits) - 1
+        half = 1 << (bits - 1) if bits > 1 else 0
+
+        if op == "add":
+
+            def add(frame):
+                frame[dst] = ((frame[a] + frame[b] + half) & mask) - half
+
+            return add
+        if op == "sub":
+
+            def sub(frame):
+                frame[dst] = ((frame[a] - frame[b] + half) & mask) - half
+
+            return sub
+        if op == "mul":
+
+            def mul(frame):
+                frame[dst] = ((frame[a] * frame[b] + half) & mask) - half
+
+            return mul
+        if op == "sdiv":
+
+            def sdiv(frame):
+                frame[dst] = ((_sdiv(frame[a], frame[b]) + half) & mask) - half
+
+            return sdiv
+        if op == "srem":
+
+            def srem(frame):
+                frame[dst] = ((_srem(frame[a], frame[b]) + half) & mask) - half
+
+            return srem
+        if op == "udiv":
+
+            def udiv(frame):
+                q = (frame[a] & mask) // _nonzero(frame[b] & mask)
+                frame[dst] = ((q + half) & mask) - half
+
+            return udiv
+        if op == "urem":
+
+            def urem(frame):
+                r = (frame[a] & mask) % _nonzero(frame[b] & mask)
+                frame[dst] = ((r + half) & mask) - half
+
+            return urem
+        if op == "and":
+
+            def and_(frame):
+                v = (frame[a] & mask) & (frame[b] & mask)
+                frame[dst] = ((v + half) & mask) - half
+
+            return and_
+        if op == "or":
+
+            def or_(frame):
+                v = (frame[a] & mask) | (frame[b] & mask)
+                frame[dst] = ((v + half) & mask) - half
+
+            return or_
+        if op == "xor":
+
+            def xor(frame):
+                v = (frame[a] & mask) ^ (frame[b] & mask)
+                frame[dst] = ((v + half) & mask) - half
+
+            return xor
+        if op == "shl":
+
+            def shl(frame):
+                v = (frame[a] & mask) << _shift_amount(frame[b], bits)
+                frame[dst] = ((v + half) & mask) - half
+
+            return shl
+        if op == "lshr":
+
+            def lshr(frame):
+                v = (frame[a] & mask) >> _shift_amount(frame[b], bits)
+                frame[dst] = ((v + half) & mask) - half
+
+            return lshr
+        if op == "ashr":
+
+            def ashr(frame):
+                v = frame[a] >> _shift_amount(frame[b], bits)
+                frame[dst] = ((v + half) & mask) - half
+
+            return ashr
+        raise DecodeError(f"unknown binop {op}")
+
+    def _decode_icmp(self, inst: ICmpInst) -> Callable:
+        dst = self.slot_of(inst)
+        a = self.slot_of(inst.lhs)
+        b = self.slot_of(inst.rhs)
+        pred = inst.predicate
+
+        if inst.lhs.type.is_pointer:
+
+            def ptr_cmp(frame):
+                frame[dst] = (
+                    1 if _pointer_compare(pred, frame[a], frame[b]) else 0
+                )
+
+            return ptr_cmp
+
+        cmp = _SIGNED_CMP.get(pred)
+        if cmp is not None:
+
+            def scmp(frame):
+                frame[dst] = 1 if cmp(frame[a], frame[b]) else 0
+
+            return scmp
+
+        mask = (1 << inst.lhs.type.bits) - 1
+        ucmp_op = _UNSIGNED_CMP[pred]
+
+        def ucmp(frame):
+            frame[dst] = 1 if ucmp_op(frame[a] & mask, frame[b] & mask) else 0
+
+        return ucmp
+
+    def _decode_fcmp(self, inst: FCmpInst) -> Callable:
+        dst = self.slot_of(inst)
+        a = self.slot_of(inst.lhs)
+        b = self.slot_of(inst.rhs)
+        pred = inst.predicate
+
+        if pred == "ord":
+
+            def ford(frame):
+                x, y = frame[a], frame[b]
+                frame[dst] = 0 if (x != x or y != y) else 1
+
+            return ford
+        if pred == "uno":
+
+            def funo(frame):
+                x, y = frame[a], frame[b]
+                frame[dst] = 1 if (x != x or y != y) else 0
+
+            return funo
+        cmp = _ORDERED_FCMP[pred]
+
+        def fcmp(frame):
+            x, y = frame[a], frame[b]
+            frame[dst] = 0 if (x != x or y != y) else (1 if cmp(x, y) else 0)
+
+        return fcmp
+
+    # -- memory -------------------------------------------------------------------
+
+    def _decode_gep(self, inst: GEPInst) -> Callable:
+        dst = self.slot_of(inst)
+        pointer = self.slot_of(inst.pointer)
+        pointee = inst.pointer.type.pointee
+
+        # try full specialization: constant indices folded to one offset,
+        # variable indices become (slot, stride) terms
+        static = 0
+        var_terms: List[Tuple[int, int]] = []
+        current = pointee
+        specialized = True
+        for position, index in enumerate(inst.indices):
+            if position == 0:
+                stride = T.size_of(pointee)
+            elif isinstance(current, T.ArrayType):
+                stride = T.size_of(current.element)
+                current = current.element
+            elif isinstance(current, T.StructType):
+                if not isinstance(index, ConstantInt):
+                    specialized = False
+                    break
+                static += sum(
+                    T.size_of(f) for f in current.fields[: index.value]
+                )
+                current = current.fields[index.value]
+                continue
+            else:
+                specialized = False
+                break
+            if isinstance(index, ConstantInt):
+                static += index.value * stride
+            else:
+                var_terms.append((self.slot_of(index), stride))
+
+        if not specialized:
+            index_slots = tuple(self.slot_of(i) for i in inst.indices)
+
+            def gep_generic(frame):
+                base = frame[pointer]
+                offset = gep_offset(pointee, [frame[s] for s in index_slots])
+                frame[dst] = (base[0], base[1] + offset)
+
+            return gep_generic
+
+        if not var_terms:
+
+            def gep_const(frame):
+                base = frame[pointer]
+                frame[dst] = (base[0], base[1] + static)
+
+            return gep_const
+        if len(var_terms) == 1:
+            slot, stride = var_terms[0]
+
+            def gep_one(frame):
+                base = frame[pointer]
+                frame[dst] = (base[0], base[1] + static + frame[slot] * stride)
+
+            return gep_one
+        terms = tuple(var_terms)
+
+        def gep_many(frame):
+            base = frame[pointer]
+            offset = static
+            for slot, stride in terms:
+                offset += frame[slot] * stride
+            frame[dst] = (base[0], base[1] + offset)
+
+        return gep_many
+
+    # -- casts --------------------------------------------------------------------
+
+    def _decode_cast(self, inst: CastInst) -> Callable:
+        dst = self.slot_of(inst)
+        src = self.slot_of(inst.value)
+        opcode = inst.opcode
+        to_type = inst.type
+        engine = self.engine
+
+        if opcode == "bitcast":
+
+            def bitcast(frame):
+                frame[dst] = frame[src]
+
+            return bitcast
+        if opcode == "inttoptr":
+            resolve = engine.object_table.resolve
+
+            def inttoptr(frame):
+                frame[dst] = resolve(frame[src])
+
+            return inttoptr
+        if opcode == "ptrtoint":
+            intern = engine.object_table.intern
+
+            def ptrtoint(frame):
+                frame[dst] = intern(frame[src])
+
+            return ptrtoint
+        if opcode in ("trunc", "sext"):
+            wrap = to_type.wrap
+
+            def trunc(frame):
+                frame[dst] = wrap(frame[src])
+
+            return trunc
+        if opcode == "zext":
+            wrap = to_type.wrap
+            to_unsigned = inst.value.type.to_unsigned
+
+            def zext(frame):
+                frame[dst] = wrap(to_unsigned(frame[src]))
+
+            return zext
+        if opcode == "sitofp":
+
+            def sitofp(frame):
+                frame[dst] = float(frame[src])
+
+            return sitofp
+        if opcode == "uitofp":
+            to_unsigned = inst.value.type.to_unsigned
+
+            def uitofp(frame):
+                frame[dst] = float(to_unsigned(frame[src]))
+
+            return uitofp
+        if opcode in ("fptosi", "fptoui"):
+            wrap = to_type.wrap
+
+            def fptoint(frame):
+                frame[dst] = wrap(float_to_int(frame[src]))
+
+            return fptoint
+        if opcode == "fptrunc":
+            if to_type.bits == 32:
+
+                def fptrunc32(frame):
+                    frame[dst] = _f32_round_trip(frame[src])
+
+                return fptrunc32
+
+            def fptrunc(frame):
+                frame[dst] = float(frame[src])
+
+            return fptrunc
+        if opcode == "fpext":
+
+            def fpext(frame):
+                frame[dst] = float(frame[src])
+
+            return fpext
+        raise DecodeError(f"cannot decode cast {opcode}")
+
+    # -- calls --------------------------------------------------------------------
+
+    def _decode_call(self, inst: CallInst) -> Callable:
+        callee = inst.callee
+        if not isinstance(callee, Function):
+            raise DecodeError(f"cannot decode call of {callee!r}")
+        arg_slots = tuple(self.slot_of(a) for a in inst.args)
+        call = self.engine.call
+        if inst.type.is_void:
+
+            def call_void(frame):
+                call(callee, [frame[s] for s in arg_slots])
+
+            return call_void
+        dst = self.slot_of(inst)
+
+        def call_step(frame):
+            frame[dst] = call(callee, [frame[s] for s in arg_slots])
+
+        return call_step
+
+    def _decode_indirect_call(self, inst: IndirectCallInst) -> Callable:
+        target = self.slot_of(inst.callee)
+        arg_slots = tuple(self.slot_of(a) for a in inst.args)
+        call_value = self.engine.call_value
+        if inst.type.is_void:
+
+            def icall_void(frame):
+                call_value(frame[target], [frame[s] for s in arg_slots])
+
+            return icall_void
+        dst = self.slot_of(inst)
+
+        def icall(frame):
+            frame[dst] = call_value(
+                frame[target], [frame[s] for s in arg_slots]
+            )
+
+        return icall
+
+
+class DecodedFunction:
+    """The decoded form of one IR function, bound to one engine.
+
+    ``blocks[i]`` is ``(steps, terminator, weight)`` where ``steps`` are
+    closures over the frame, ``terminator`` applies the out-edge's phi
+    parallel copy and returns the next block index (or :data:`RETURN`),
+    and ``weight`` is the number of interpreter steps the block accounts
+    for (used by the step limit).
+    """
+
+    __slots__ = ("func", "name", "blocks", "template", "arg_slots",
+                 "version", "shape")
+
+    def __init__(self, func: Function, blocks, template, arg_slots):
+        self.func = func
+        self.name = func.name
+        self.blocks = blocks
+        self.template = list(template)
+        self.arg_slots = arg_slots
+        self.version = func.code_version
+        self.shape = func.code_shape()
+
+    def _frame(self, args) -> List[Any]:
+        if len(args) != len(self.arg_slots):
+            raise Trap(
+                f"@{self.name} expects {len(self.arg_slots)} args, "
+                f"got {len(args)}"
+            )
+        frame = self.template.copy()
+        frame[0] = []
+        frame[_RESERVED:_RESERVED + len(args)] = args
+        return frame
+
+    def run(self, args) -> Any:
+        """Execute with no step accounting (the fast path)."""
+        frame = self._frame(args)
+        blocks = self.blocks
+        index = 0
+        try:
+            while True:
+                steps, term, _ = blocks[index]
+                for step in steps:
+                    step(frame)
+                index = term(frame)
+                if index < 0:
+                    return frame[1]
+        finally:
+            for buf in frame[0]:
+                buf.freed = True
+
+    def run_counted(self, args, step_limit: Optional[int] = None,
+                    profile=None) -> Any:
+        """Execute with a step budget and/or hotness profiling.
+
+        The step limit is enforced at block granularity (each block
+        charges its instruction count up front), so overruns are detected
+        within one basic block of the tree-walker's per-instruction check.
+        Back edges (transitions to a block at the same or smaller index)
+        increment ``profile.backedges`` for tier-up decisions.
+        """
+        frame = self._frame(args)
+        blocks = self.blocks
+        index = 0
+        steps_used = 0
+        name = self.name
+        try:
+            while True:
+                steps, term, weight = blocks[index]
+                if step_limit is not None:
+                    steps_used += weight
+                    if steps_used > step_limit:
+                        raise StepLimitExceeded(
+                            f"exceeded {step_limit} steps in @{name}"
+                        )
+                for step in steps:
+                    step(frame)
+                next_index = term(frame)
+                if next_index < 0:
+                    return frame[1]
+                if profile is not None and next_index <= index:
+                    profile.backedges += 1
+                index = next_index
+        finally:
+            for buf in frame[0]:
+                buf.freed = True
+
+
+def decode_function(func: Function, engine) -> DecodedFunction:
+    """Decode ``func`` for execution against ``engine``.
+
+    Raises :class:`DecodeError` when the function uses a construct the
+    decoded tier does not support (or when evaluating a constant operand
+    traps at decode time); callers fall back to the tree-walker, which
+    reproduces the trap at the correct execution point.
+    """
+    try:
+        return _Decoder(func, engine).decode()
+    except Trap as exc:
+        raise DecodeError(f"decode-time trap: {exc}") from exc

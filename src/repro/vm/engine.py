@@ -8,13 +8,23 @@ the IR function being OSR'd, its basic blocks, and code-generation
 environments, exactly the three hard-wired parameters of the paper's
 Figure 6 stub.
 
-Two tiers are available per function: ``interp`` (reference interpreter)
-and ``jit`` (Python-codegen).  The default is ``jit``; tests flip tiers to
-cross-check semantics.
+Execution tiers, per function:
+
+* ``interp`` — the tree-walking reference interpreter (semantic oracle);
+* ``decoded`` — the pre-decoded closure interpreter (same semantics,
+  none of the per-step dispatch cost);
+* ``jit`` — Python-codegen (compile on first call);
+* ``tiered`` — the default mixed mode: start in the decoded interpreter
+  with call/backedge counters and promote to the JIT when the
+  :class:`~repro.vm.profile.TierProfiler` thresholds trip, the classic
+  profile-driven tier-up the paper's OSR machinery assumes.
+
+Tests flip tiers to cross-check semantics.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, List, Optional
 
 from ..ir import types as T
@@ -26,8 +36,14 @@ from ..ir.values import (
     ConstantString,
     GlobalVariable,
 )
+from .decode import DecodeError, DecodedFunction, decode_function
 from .interpreter import Interpreter, Trap
 from .jit import compile_function
+from .profile import (
+    DEFAULT_BACKEDGE_THRESHOLD,
+    DEFAULT_CALL_THRESHOLD,
+    TierProfiler,
+)
 from .runtime import (
     HANDLE_HEAP,
     NULL,
@@ -38,6 +54,9 @@ from .runtime import (
     store_scalar,
 )
 
+#: valid values for the engine-wide and per-function tier setting
+TIERS = ("jit", "interp", "decoded", "tiered")
+
 
 class ObjectTable:
     """Bidirectional map between small integers and Python objects.
@@ -45,50 +64,82 @@ class ObjectTable:
     Plays the role of the address space for ``inttoptr``/``ptrtoint``:
     OSRKit bakes ``intern(obj)`` results into stub IR, and executing the
     stub resolves them back.
+
+    When constructed with an engine, interning an IR
+    :class:`~repro.ir.function.Function` goes through the engine's
+    ``handle_for`` path, so the handle baked into stub IR and the handle
+    a direct call produces are the *same* object — stubs and direct
+    calls agree, and redirecting the handle redirects both.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, engine=None) -> None:
         self._objects: List[Any] = [None]
         self._ids: Dict[int, int] = {}
+        self._engine = engine
 
     def intern(self, obj: Any) -> int:
         key = id(obj)
         existing = self._ids.get(key)
         if existing is not None:
             return existing
+        if self._engine is not None and isinstance(obj, Function):
+            handle_obj = self._engine.handle_for(obj)
+            handle_key = id(handle_obj)
+            handle = self._ids.get(handle_key)
+            if handle is None:
+                handle = len(self._objects)
+                self._objects.append(handle_obj)
+                self._ids[handle_key] = handle
+            # the raw Function maps to the same slot as its handle
+            self._ids[key] = handle
+            return handle
         handle = len(self._objects)
         self._objects.append(obj)
         self._ids[key] = handle
         return handle
 
     def resolve(self, handle: int) -> Any:
-        if not 0 <= handle < len(self._objects):
-            raise Trap(f"dangling object handle {handle}")
-        return self._objects[handle]
+        # single guarded lookup on the hot path instead of a separate
+        # range check plus index
+        if handle >= 0:
+            try:
+                return self._objects[handle]
+            except IndexError:
+                pass
+        raise Trap(f"dangling object handle {handle}")
 
 
 class ExecutionEngine:
     """Compile-and-run environment for a module."""
 
-    def __init__(self, module: Module, tier: str = "jit",
-                 interp_step_limit: Optional[int] = None):
-        if tier not in ("jit", "interp"):
+    def __init__(self, module: Module, tier: str = "tiered",
+                 interp_step_limit: Optional[int] = None,
+                 call_threshold: int = DEFAULT_CALL_THRESHOLD,
+                 backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD):
+        if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
         self.tier = tier
-        self.object_table = ObjectTable()
+        self.object_table = ObjectTable(self)
         self.stdout = OutputBuffer()
         self._compiled: Dict[str, Callable] = {}
         self._handles: Dict[str, FunctionHandle] = {}
         self._natives: Dict[str, NativeHandle] = {}
         self._globals: Dict[str, tuple] = {}
+        self._decoded: Dict[str, DecodedFunction] = {}
         self._interp_step_limit = interp_step_limit
-        #: per-function tier overrides (function name -> 'jit' | 'interp')
+        #: per-function tier overrides (function name -> tier)
         self._tier_overrides: Dict[str, str] = {}
         #: statistics: per-function call counts (profiling substrate)
         self.call_counts: Dict[str, int] = {}
         #: number of functions compiled (Q3-style accounting)
         self.compile_count = 0
+        #: tier-up machinery and cache statistics
+        self.profiler = TierProfiler(call_threshold, backedge_threshold)
+        self.jit_cache_hits = 0
+        self.jit_cache_misses = 0
+        self.tier_promotions = 0
+        self.decode_fallbacks = 0
         self._install_default_natives()
 
     # -- natives -----------------------------------------------------------------
@@ -141,8 +192,6 @@ class ExecutionEngine:
         self.add_native("print_i64", native_print_i64)
         self.add_native("print_f64", native_print_f64)
         self.add_native("puts", native_puts)
-
-        import math
 
         self.add_native("sqrt", math.sqrt)
         self.add_native("sin", math.sin)
@@ -213,8 +262,12 @@ class ExecutionEngine:
         tier = self._tier_overrides.get(func.name, self.tier)
         if tier == "jit":
             compiled = compile_function(func, self)
-        else:
+        elif tier == "interp":
             compiled = self._make_interp_thunk(func)
+        elif tier == "decoded":
+            compiled = self._make_decoded_thunk(func)
+        else:  # tiered
+            compiled = self._make_tiered_dispatcher(func)
         self.compile_count += 1
         self._compiled[func.name] = compiled
         return compiled
@@ -229,6 +282,72 @@ class ExecutionEngine:
         run.__name__ = f"interp_{func.name}"
         return run
 
+    def _make_decoded_thunk(self, func: Function, profile=None
+                            ) -> Callable:
+        """Thunk running ``func`` in the pre-decoded interpreter.
+
+        Functions the decoder cannot lower fall back to the tree-walker
+        (counted in ``decode_fallbacks``).  Like the JIT tier, the
+        decoded form is a snapshot of the current body: rewrite the IR
+        and call :meth:`invalidate` to re-decode.
+        """
+        try:
+            decoded = decode_function(func, self)
+        except DecodeError:
+            self.decode_fallbacks += 1
+            return self._make_interp_thunk(func)
+        self._decoded[func.name] = decoded
+        limit = self._interp_step_limit
+        if profile is None and limit is None:
+            run = decoded.run
+
+            def run_fast(*args):
+                return run(args)
+
+            run_fast.__name__ = f"decoded_{func.name}"
+            return run_fast
+
+        def run_counted(*args):
+            return decoded.run_counted(args, limit, profile)
+
+        run_counted.__name__ = f"decoded_{func.name}"
+        return run_counted
+
+    def _make_tiered_dispatcher(self, func: Function) -> Callable:
+        """Mixed-mode executable: decoded interpreter with hotness
+        counters, promoted to the JIT once the profiler's call or
+        loop-backedge threshold trips.
+
+        Promotion is checked at call boundaries; the backedge counter
+        (fed by the decoded tier's profiled loop) lets a function that is
+        called once but loops hot promote on its *next* call — replacing
+        a loop mid-flight is the OSR machinery's job, not the tier-up's.
+        """
+        engine = self
+        profiler = self.profiler
+        profile = profiler.profile_for(func.name)
+        baseline = self._make_decoded_thunk(func, profile=profile)
+        promoted_box: List[Optional[Callable]] = [None]
+
+        def dispatch(*args):
+            promoted = promoted_box[0]
+            if promoted is not None:
+                return promoted(*args)
+            profile.calls += 1
+            if profiler.should_promote(profile):
+                promoted = compile_function(func, engine)
+                promoted_box[0] = promoted
+                profile.promoted_version = func.code_version
+                engine.tier_promotions += 1
+                handle = engine._handles.get(func.name)
+                if handle is not None:
+                    handle.invalidate()
+                return promoted(*args)
+            return baseline(*args)
+
+        dispatch.__name__ = f"tiered_{func.name}"
+        return dispatch
+
     def set_tier(self, func: Function, tier: str) -> None:
         """Pin one function to a tier (mixed-mode execution).
 
@@ -237,7 +356,7 @@ class ExecutionEngine:
         e.g. to model deoptimization *into an interpreter*, the design
         the paper contrasts OSRKit's continuation-function approach with.
         """
-        if tier not in ("jit", "interp"):
+        if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self._tier_overrides[func.name] = tier
         self.invalidate(func)
@@ -247,8 +366,13 @@ class ExecutionEngine:
 
         Called after instrumentation or replacement — the moral
         equivalent of MCJIT module re-finalization for that function.
+        Bumps the function's ``code_version`` so the cross-engine code
+        cache and the decoded tier drop their stale artifacts too.
         """
+        func.bump_code_version()
         self._compiled.pop(func.name, None)
+        self._decoded.pop(func.name, None)
+        self.profiler.invalidate(func.name)
         handle = self._handles.get(func.name)
         if handle is not None:
             handle.function = func
@@ -287,3 +411,16 @@ class ExecutionEngine:
     def run(self, name: str, *args):
         """Convenience: call a module function by name."""
         return self.call(self.module.get_function(name), list(args))
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def tier_stats(self) -> Dict[str, Any]:
+        """Snapshot of cache/tier counters for tooling and benchmarks."""
+        return {
+            "compile_count": self.compile_count,
+            "jit_cache_hits": self.jit_cache_hits,
+            "jit_cache_misses": self.jit_cache_misses,
+            "tier_promotions": self.tier_promotions,
+            "decode_fallbacks": self.decode_fallbacks,
+            "profiles": self.profiler.snapshot(),
+        }

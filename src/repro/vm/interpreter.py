@@ -12,6 +12,7 @@ copy), before any other instruction executes.
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Dict, List, Optional
 
 from ..ir import types as T
@@ -49,6 +50,7 @@ from ..ir.values import (
     Value,
 )
 from ..transform.constfold import (
+    float_to_int,
     fold_fcmp,
     fold_float_binop,
     fold_icmp,
@@ -285,13 +287,11 @@ class Interpreter:
         if opcode == "uitofp":
             return float(inst.value.type.to_unsigned(value))
         if opcode == "fptosi":
-            return to_type.wrap(int(value))
+            return to_type.wrap(float_to_int(value))
         if opcode == "fptoui":
-            return to_type.wrap(int(value))
+            return to_type.wrap(float_to_int(value))
         if opcode == "fptrunc":
             if to_type.bits == 32:
-                import struct
-
                 return struct.unpack("<f", struct.pack("<f", value))[0]
             return float(value)
         if opcode == "fpext":

@@ -1,0 +1,98 @@
+"""Profile-driven tier-up.
+
+Lightweight per-function hotness counters that drive promotion from the
+pre-decoded interpreter tier to the JIT tier — the classic mixed-mode VM
+design the paper's OSR machinery assumes (HotSpot-style: interpret cold
+code, compile hot code, OSR moves live frames between the two).
+
+The counters are deliberately cheap: one call increment per invocation
+(charged by the engine's tiered dispatcher) and one backedge increment per
+loop iteration (charged by :meth:`DecodedFunction.run_counted`).  A
+function is promoted when either counter crosses its threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: invocations before a function is considered call-hot
+DEFAULT_CALL_THRESHOLD = 8
+
+#: loop back edges before a function is considered loop-hot (this is what
+#: catches "one call, hot loop" functions that OSR targets)
+DEFAULT_BACKEDGE_THRESHOLD = 256
+
+
+class FunctionProfile:
+    """Hotness counters for one function under one engine."""
+
+    __slots__ = ("name", "calls", "backedges", "promoted_version")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.backedges = 0
+        #: code_version the function was promoted at, or None while it is
+        #: still running in the decoded tier
+        self.promoted_version: Optional[int] = None
+
+    @property
+    def promoted(self) -> bool:
+        return self.promoted_version is not None
+
+    def demote(self) -> None:
+        """Forget a promotion (the function body was rewritten)."""
+        self.promoted_version = None
+        self.calls = 0
+        self.backedges = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = (
+            f"jit@v{self.promoted_version}" if self.promoted else "decoded"
+        )
+        return (
+            f"<FunctionProfile @{self.name} calls={self.calls} "
+            f"backedges={self.backedges} {state}>"
+        )
+
+
+class TierProfiler:
+    """Owns the profiles and the promotion policy for one engine."""
+
+    def __init__(self, call_threshold: int = DEFAULT_CALL_THRESHOLD,
+                 backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD):
+        if call_threshold < 1 or backedge_threshold < 1:
+            raise ValueError("tier-up thresholds must be >= 1")
+        self.call_threshold = call_threshold
+        self.backedge_threshold = backedge_threshold
+        self._profiles: Dict[str, FunctionProfile] = {}
+
+    def profile_for(self, name: str) -> FunctionProfile:
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = FunctionProfile(name)
+            self._profiles[name] = profile
+        return profile
+
+    def should_promote(self, profile: FunctionProfile) -> bool:
+        return (
+            profile.calls >= self.call_threshold
+            or profile.backedges >= self.backedge_threshold
+        )
+
+    def invalidate(self, name: str) -> None:
+        """Reset counters after the function body was rewritten."""
+        profile = self._profiles.get(name)
+        if profile is not None:
+            profile.demote()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Stats for tooling/benchmark reports."""
+        return {
+            name: {
+                "calls": p.calls,
+                "backedges": p.backedges,
+                "promoted": p.promoted,
+            }
+            for name, p in self._profiles.items()
+        }

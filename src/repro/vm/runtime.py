@@ -162,6 +162,56 @@ def load_scalar(ty: T.Type, pointer):
     raise TypeError(f"cannot load scalar of type {ty}")
 
 
+def scalar_accessors(ty: T.Type) -> Tuple[Callable, Callable]:
+    """Specialized ``(load, store)`` closures for one scalar IR type.
+
+    Semantically identical to :func:`load_scalar`/:func:`store_scalar`
+    (bounds checks included) but with the type dispatch and struct-format
+    selection resolved once instead of per access — the decode tier binds
+    these into its per-instruction closures.
+    """
+    if isinstance(ty, T.IntType):
+        size = T.size_of(ty)
+        wrap = ty.wrap
+        st = _STRUCTS.get((size, True))
+        if st is not None:
+            unpack, pack = st.unpack_from, st.pack_into
+
+            def load_int(pointer):
+                buf, off = pointer
+                buf.check(off, size)
+                return wrap(unpack(buf.data, off)[0])
+
+            def store_int(pointer, value):
+                buf, off = pointer
+                buf.check(off, size)
+                pack(buf.data, off, wrap(value))
+
+            return load_int, store_int
+        # odd widths fall back to the generic byte path
+        return (lambda p: load_scalar(ty, p),
+                lambda p, v: store_scalar(ty, p, v))
+    if isinstance(ty, T.FloatType):
+        size = T.size_of(ty)
+        st = _F32 if ty.bits == 32 else _F64
+        unpack, pack = st.unpack_from, st.pack_into
+
+        def load_float(pointer):
+            buf, off = pointer
+            buf.check(off, size)
+            return unpack(buf.data, off)[0]
+
+        def store_float(pointer, value):
+            buf, off = pointer
+            buf.check(off, size)
+            pack(buf.data, off, value)
+
+        return load_float, store_float
+    if isinstance(ty, T.PointerType):
+        return HANDLE_HEAP.load, HANDLE_HEAP.store
+    raise TypeError(f"cannot build scalar accessors for {ty}")
+
+
 class HandleHeap:
     """Side table for pointer-valued memory cells.
 

@@ -1,0 +1,262 @@
+"""Differential property tests across all three execution tiers.
+
+The tree-walking interpreter is the semantic oracle; the pre-decoded
+closure interpreter and the JIT must agree with it on every generated
+program — results, traps, and (for the decoded tier) step accounting.
+The mixed ``tiered`` mode must agree on both sides of the promotion
+threshold, since a workload may cross it mid-run.
+"""
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import parse_module
+from repro.ir.function import Module
+from repro.vm import (
+    DecodeError,
+    ExecutionEngine,
+    StepLimitExceeded,
+    Trap,
+    decode_function,
+)
+
+from .strategies import (
+    arguments_for,
+    build_float_program,
+    build_program,
+    float_program_specs,
+    program_specs,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALL_TIERS = ("interp", "decoded", "jit", "tiered")
+
+
+def _run_tier(module_text, name, args, tier, **engine_kwargs):
+    """Run one tier on a freshly parsed module, classifying the outcome.
+
+    Trap diagnostics differ per tier, so equivalence is at the
+    trap/no-trap level.  Hard memory faults surface as ``MemoryError``
+    from the bounds-checked accessors (interp/decoded) but as
+    ``struct.error`` from the JIT's specialized packers — both are the
+    same fault class.
+    """
+    module = parse_module(module_text)
+    engine = ExecutionEngine(module, tier=tier, **engine_kwargs)
+    try:
+        return ("ok", engine.run(name, *args))
+    except Trap:
+        return ("trap", None)
+    except (MemoryError, struct.error):
+        return ("memfault", None)
+
+
+class TestIntPrograms:
+    @SETTINGS
+    @given(data=st.data())
+    def test_all_tiers_agree(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module = Module("prop")
+        build_program(spec, module, "prog")
+        from repro.ir import print_module
+
+        text = print_module(module)
+        oracle = _run_tier(text, "prog", args, "interp")
+        for tier in ("decoded", "jit", "tiered"):
+            assert _run_tier(text, "prog", args, tier) == oracle, tier
+
+    @SETTINGS
+    @given(data=st.data())
+    def test_tiered_agrees_across_promotion_threshold(self, data):
+        """Repeated calls promote decoded -> JIT; results must not change."""
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module = Module("prop")
+        build_program(spec, module, "prog")
+        engine = ExecutionEngine(module, tier="tiered", call_threshold=3)
+        results = {engine.run("prog", *args) for _ in range(6)}
+        assert len(results) == 1
+        stats = engine.tier_stats()
+        assert stats["tier_promotions"] == 1
+
+
+class TestFloatPrograms:
+    @SETTINGS
+    @given(data=st.data())
+    def test_all_tiers_agree(self, data):
+        spec = data.draw(float_program_specs())
+        a = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False))
+        b = data.draw(st.floats(min_value=-1e9, max_value=1e9,
+                                allow_nan=False))
+        module = Module("prop")
+        build_float_program(spec, module, "fprog")
+        from repro.ir import print_module
+
+        text = print_module(module)
+        oracle = _run_tier(text, "fprog", (a, b), "interp")
+        for tier in ("decoded", "jit", "tiered"):
+            assert _run_tier(text, "fprog", (a, b), tier) == oracle, tier
+
+
+#: hand-written programs that trap (or not) in interesting ways; the
+#: generated programs above are structurally trap-free, so these pin the
+#: trap-equivalence half of the contract.  Messages differ across tiers
+#: (each reports its own diagnostic) — only trap/no-trap must agree.
+TRAP_PROGRAMS = [
+    ("sdiv-zero", """
+define i64 @f(i64 %a) {
+entry:
+  %r = sdiv i64 %a, 0
+  ret i64 %r
+}
+""", (7,)),
+    ("sdiv-overflow", """
+define i8 @f(i8 %a, i8 %b) {
+entry:
+  %r = sdiv i8 %a, %b
+  ret i8 %r
+}
+""", (-128, -1)),
+    ("srem-zero", """
+define i64 @f(i64 %a) {
+entry:
+  %r = srem i64 %a, 0
+  ret i64 %r
+}
+""", (7,)),
+    ("shift-oor", """
+define i64 @f(i64 %a, i64 %s) {
+entry:
+  %r = shl i64 %a, %s
+  ret i64 %r
+}
+""", (1, 64)),
+    ("fdiv-zero", """
+define double @f(double %a) {
+entry:
+  %r = fdiv double %a, 0.0
+  ret double %r
+}
+""", (1.5,)),
+    ("frem-zero", """
+define double @f(double %a) {
+entry:
+  %r = frem double %a, 0.0
+  ret double %r
+}
+""", (1.5,)),
+    ("unreachable", """
+define i64 @f() {
+entry:
+  unreachable
+}
+""", ()),
+    ("null-load", """
+define i64 @f() {
+entry:
+  %r = load i64, i64* null
+  ret i64 %r
+}
+""", ()),
+    ("no-trap-udiv", """
+define i64 @f(i64 %a) {
+entry:
+  %r = udiv i64 %a, 3
+  ret i64 %r
+}
+""", (-1,)),
+    ("no-trap-wrap", """
+define i8 @f(i8 %a) {
+entry:
+  %r = add i8 %a, 1
+  ret i8 %r
+}
+""", (127,)),
+]
+
+
+class TestTrapEquivalence:
+    @pytest.mark.parametrize(
+        "name,text,args", TRAP_PROGRAMS, ids=[t[0] for t in TRAP_PROGRAMS]
+    )
+    def test_trap_agreement(self, name, text, args):
+        outcomes = {
+            tier: _run_tier(text, "f", args, tier)[0]
+            for tier in ALL_TIERS
+        }
+        assert len(set(outcomes.values())) == 1, outcomes
+
+    def test_trapping_results_match_when_ok(self):
+        # the no-trap cases must also agree on the value itself
+        for name, text, args in TRAP_PROGRAMS:
+            runs = [_run_tier(text, "f", args, tier) for tier in ALL_TIERS]
+            assert len(set(runs)) == 1, (name, runs)
+
+
+class TestStepAccounting:
+    SRC = """
+define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %i1
+}
+"""
+
+    def test_decoded_step_limit_fires(self):
+        module = parse_module(self.SRC)
+        engine = ExecutionEngine(module, tier="decoded",
+                                 interp_step_limit=50)
+        with pytest.raises(StepLimitExceeded):
+            engine.run("f", 1000)
+
+    def test_decoded_step_limit_spares_short_runs(self):
+        module = parse_module(self.SRC)
+        engine = ExecutionEngine(module, tier="decoded",
+                                 interp_step_limit=50)
+        assert engine.run("f", 3) == 3
+
+    def test_decoded_and_interp_agree_on_effects(self):
+        """A store is observable through memory regardless of tier."""
+        src = """
+define i64 @f(i64* %p) {
+entry:
+  store i64 41, i64* %p
+  %v = load i64, i64* %p
+  %r = add i64 %v, 1
+  ret i64 %r
+}
+"""
+        from repro.vm import MemoryBuffer, load_scalar
+
+        from repro.ir import types as T
+
+        for tier in ALL_TIERS:
+            module = parse_module(src)
+            engine = ExecutionEngine(module, tier=tier)
+            buf = MemoryBuffer(8, "cell")
+            assert engine.run("f", (buf, 0)) == 42
+            assert load_scalar(T.i64, (buf, 0)) == 41
+
+
+class TestDecodeFallback:
+    def test_declaration_raises_decode_error(self):
+        module = parse_module("declare i64 @ext(i64)")
+        engine = ExecutionEngine(module, tier="decoded")
+        with pytest.raises(DecodeError):
+            decode_function(module.get_function("ext"), engine)

@@ -1,0 +1,55 @@
+"""One fast iteration of the benchmark harness under the tier-1 suite.
+
+Keeps ``python -m benchmarks`` runnable: a broken import or a workload
+whose checksum drifts across tiers fails here, in seconds, instead of at
+the next full benchmark run (``make bench-smoke`` runs the same path
+from the command line).
+"""
+
+import json
+
+from benchmarks.bench_tiers import (
+    format_cache,
+    format_tiers,
+    run_cache,
+    run_tiers,
+)
+
+
+def test_tiers_smoke_rows():
+    rows = run_tiers(smoke=True)
+    assert rows, "smoke run produced no rows"
+    for row in rows:
+        # every tier agreed on the checksum (asserted inside run_tiers);
+        # the timings must at least be sensible
+        assert row.interp_s > 0
+        assert row.decoded_s > 0
+        assert row.jit_s > 0
+    # rows serialize for the --json output path
+    json.dumps([row._asdict() for row in rows], default=str)
+    assert "workload" in format_tiers(rows)
+
+
+def test_cache_smoke_rows():
+    rows = run_cache(smoke=True)
+    assert rows
+    for row in rows:
+        assert row.cold_compile_s > 0
+        assert row.warm_materialize_s > 0
+        # a warm materialization never recompiles, so it must win
+        assert row.warm_speedup > 1.0, row
+        assert row.cache_hits > 0
+        assert row.cache_misses > 0
+    json.dumps([row._asdict() for row in rows], default=str)
+    assert "cold" in format_cache(rows)
+
+
+def test_cli_smoke(tmp_path, capsys):
+    from benchmarks.__main__ import main
+
+    out = tmp_path / "bench.json"
+    assert main(["tiers", "--smoke", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["env"]["smoke"] is True
+    assert data["tiers"], "tiers rows missing from JSON"
+    assert data["cache"], "cache rows implied by tiers are missing"
