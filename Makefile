@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-tiers
+.PHONY: test bench bench-smoke bench-tiers trace-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,3 +16,8 @@ bench-tiers:
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:
 	PYTHONPATH=src $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json
+
+# traced shootout run: validates the event stream and the Chrome export,
+# writes the trace for loading into Perfetto / chrome://tracing
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs smoke --out trace-smoke.json

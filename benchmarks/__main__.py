@@ -13,7 +13,10 @@ evaluation drivers from :mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
 ``env`` block recording the interpreter version and trial count, so runs
-are comparable across machines.
+are comparable across machines.  An ambient telemetry is installed for
+the whole run; each target's section of the ``telemetry`` block is the
+metrics-registry diff across that target (counters bumped, spans timed),
+so a BENCH_*.json records *what the VM did*, not just how long it took.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.experiments import (
     format_q1, format_q2, format_q3, format_q4,
     run_q1, run_q2, run_q3, run_q4,
 )
+from repro.obs import MetricsRegistry, Telemetry, ambient, set_ambient
 
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
@@ -67,10 +71,31 @@ def main(argv=None) -> int:
             "trials": 1 if args.smoke else args.trials,
             "smoke": args.smoke,
         },
+        "telemetry": {},
     }
     banner = "=" * 72
 
+    # ambient telemetry for the whole run: experiment engines fold their
+    # counters into this registry, and each target's slice of the run is
+    # captured as a snapshot diff
+    telemetry = Telemetry()
+    previous_ambient = ambient()
+    set_ambient(telemetry)
+    try:
+        _run_targets(args, targets, results, banner, telemetry)
+    finally:
+        set_ambient(previous_ambient)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_targets(args, targets, results, banner, telemetry) -> None:
     for target in targets:
+        before = telemetry.metrics.snapshot()
         print(banner)
         if target == "tiers":
             print("Execution tiers — tree-walker vs decoded vs JIT")
@@ -108,13 +133,10 @@ def main(argv=None) -> int:
             rows = run_q4(trials=1 if args.smoke else args.trials)
             print(format_q4(rows))
         results[target] = _rows_to_json(rows)
+        results["telemetry"][target] = MetricsRegistry.diff(
+            before, telemetry.metrics.snapshot()
+        )
         print()
-
-    if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(results, fh, indent=2, default=str)
-        print(f"wrote {args.json}")
-    return 0
 
 
 if __name__ == "__main__":

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cfg import reachable_blocks, remove_unreachable_blocks
 from ..analysis.liveness import LivenessInfo
+from ..obs import events as EV
+from ..obs.telemetry import ambient as ambient_telemetry
 from ..ir.builder import IRBuilder
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import Instruction, PhiInst
@@ -61,6 +63,7 @@ def generate_continuation(
     module: Optional[Module] = None,
     cleanup: bool = True,
     verify: bool = True,
+    telemetry=None,
 ) -> Function:
     """Build the continuation function ``f'_to``.
 
@@ -69,7 +72,32 @@ def generate_continuation(
     parameter names.  ``mapping`` must cover every live-in value of
     ``landing`` (keys are values of ``variant``); use
     :func:`required_landing_state` to enumerate them.
+
+    Generation is traced as an ``osr.continuation`` span (with an
+    ``osr.compensation`` instant recording how many state-mapping entries
+    materialized code in ``osr.entry``) on ``telemetry``, defaulting to
+    the ambient telemetry.
     """
+    tel = telemetry if telemetry is not None else ambient_telemetry()
+    with tel.span(EV.OSR_CONTINUATION, variant=variant.name,
+                  landing=landing.name):
+        return _generate_continuation(
+            variant, landing, live_values, mapping, name, module,
+            cleanup, verify, tel,
+        )
+
+
+def _generate_continuation(
+    variant: Function,
+    landing: BasicBlock,
+    live_values: Sequence[Value],
+    mapping: StateMapping,
+    name: Optional[str],
+    module: Optional[Module],
+    cleanup: bool,
+    verify: bool,
+    telemetry,
+) -> Function:
     if landing.parent is not variant:
         raise OSRError(
             f"landing block %{landing.name} is not in variant @{variant.name}"
@@ -129,6 +157,13 @@ def generate_continuation(
             (clone_value, source.materialize(builder, params))
         )
     builder.br(landing_clone)
+    cont.attributes["osr.role"] = "continuation"
+    if telemetry.enabled:
+        telemetry.event(
+            EV.OSR_COMPENSATION, continuation=cont.name,
+            entries=len(replacements),
+            prologue=mapping.prologue is not None,
+        )
 
     # -- rewire live state -----------------------------------------------------------
     reachable = reachable_blocks(cont)

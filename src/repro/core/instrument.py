@@ -30,11 +30,20 @@ from ..ir.instructions import Instruction
 from ..ir.types import FunctionType, PointerType
 from ..ir.values import Value
 from ..ir.verifier import verify_function
+from ..obs import events as EV
+from ..obs.telemetry import ambient as ambient_telemetry
 from ..transform.clone import clone_function
 from ..vm.runtime import FunctionHandle
 from .conditions import OSRCondition
 from .continuation import OSRError, generate_continuation
 from .statemap import StateMapping
+
+
+def _telemetry_for(engine):
+    """The telemetry insertion helpers trace to: the engine's if one is
+    attached, the ambient telemetry otherwise (engine-less callers)."""
+    tel = getattr(engine, "telemetry", None)
+    return tel if tel is not None else ambient_telemetry()
 
 
 def _unwrap_ir(obj):
@@ -139,7 +148,32 @@ def insert_resolved_osr_point(
     are derived automatically.  Otherwise the caller provides the variant
     ``f'``, the landing block ``L'`` and a :class:`StateMapping` covering
     the live-in state of ``L'`` (with compensation code as needed).
+
+    Insertion is traced as an ``osr.insert`` span (kind ``resolved``) on
+    the engine's telemetry (ambient when no engine is given), and the
+    continuation is tagged ``osr.entrypoint = "resolved"`` so the engine
+    can observe fires when it is entered.
     """
+    tel = _telemetry_for(engine)
+    with tel.span(EV.OSR_INSERT, function=func.name, kind="resolved"):
+        return _insert_resolved_osr_point(
+            func, location, condition, variant, landing, mapping,
+            cont_name, engine, verify, tel,
+        )
+
+
+def _insert_resolved_osr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    variant: Optional[Function],
+    landing: Optional[BasicBlock],
+    mapping: Optional[StateMapping],
+    cont_name: Optional[str],
+    engine,
+    verify: bool,
+    telemetry,
+) -> ResolvedOSR:
     module = func.module
     if module is None:
         raise OSRError(f"@{func.name} is not inside a module")
@@ -165,8 +199,9 @@ def insert_resolved_osr_point(
     continuation = generate_continuation(
         variant, landing, live_values, mapping,
         name=cont_name or f"{variant.name}to",
-        module=module, verify=verify,
+        module=module, verify=verify, telemetry=telemetry,
     )
+    continuation.attributes["osr.entrypoint"] = "resolved"
 
     osr_block = _emit_osr_check(func, check_block, cont_block, condition)
     builder = IRBuilder(osr_block)
@@ -217,15 +252,29 @@ def build_open_osr_stub(
 
     ``generator(f, block, env, val)`` runs in the host; it must return an
     IR :class:`Function` (the continuation) or a callable.
+
+    Stub construction is traced as an ``osr.open_stub`` span on the
+    engine's telemetry, and every run-time invocation of the generator
+    (i.e. every firing of the open OSR point) emits an ``osr.fire``
+    instant with ``kind: "open"``.
     """
-    module = func.module
-    cont_fnty = FunctionType(
-        func.return_type, [v.type for v in live_values]
-    )
-    gen_fnty = _generator_type(cont_fnty)
-    i8p = T.ptr(T.i8)
+    tel = _telemetry_for(engine)
+    with tel.span(EV.OSR_OPEN_STUB, function=func.name):
+        return _build_open_osr_stub(
+            func, osr_source_block, live_values, generator, env, engine,
+            stub_name, gen_function, gen_block,
+        )
+
+
+def _make_generator_wrapper(generator, engine, func_name):
+    """Wrap a host code generator for invocation from stub IR: emit the
+    ``osr.fire`` instant, unwrap handle arguments, and coerce the result
+    to an engine-callable."""
 
     def generator_wrapper(f_obj, block_obj, env_obj, val):
+        tel = getattr(engine, "telemetry", None)
+        if tel is not None and tel.enabled:
+            tel.event(EV.OSR_FIRE, kind="open", function=func_name)
         produced = generator(
             _unwrap_ir(f_obj), block_obj, _unwrap_ir(env_obj), val
         )
@@ -237,6 +286,28 @@ def build_open_osr_stub(
             f"open-OSR generator returned non-callable {produced!r}"
         )
 
+    return generator_wrapper
+
+
+def _build_open_osr_stub(
+    func: Function,
+    osr_source_block: BasicBlock,
+    live_values: Sequence[Value],
+    generator: Callable,
+    env: Any,
+    engine,
+    stub_name: Optional[str],
+    gen_function: Optional[Function],
+    gen_block: Optional[BasicBlock],
+) -> Function:
+    module = func.module
+    cont_fnty = FunctionType(
+        func.return_type, [v.type for v in live_values]
+    )
+    gen_fnty = _generator_type(cont_fnty)
+    i8p = T.ptr(T.i8)
+
+    generator_wrapper = _make_generator_wrapper(generator, engine, func.name)
     gen_handle = engine.object_table.intern(
         engine.add_native(f"osr.gen.{func.name}", generator_wrapper)
     )
@@ -317,7 +388,31 @@ def insert_open_osr_point(
     instrumentation.  Pass ``False`` to hand the generator the live,
     instrumented function instead (useful when the generator wants to
     keep or re-arm OSR points in the variant).
+
+    Insertion is traced as an ``osr.insert`` span (kind ``open``) on the
+    engine's telemetry; the enclosed stub construction contributes a
+    nested ``osr.open_stub`` span.
     """
+    tel = _telemetry_for(engine)
+    with tel.span(EV.OSR_INSERT, function=func.name, kind="open"):
+        return _insert_open_osr_point(
+            func, location, condition, generator, engine, env, val,
+            pass_pristine_copy, use_stub, verify,
+        )
+
+
+def _insert_open_osr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    generator: Callable,
+    engine,
+    env: Any,
+    val: Optional[Value],
+    pass_pristine_copy: bool,
+    use_stub: bool,
+    verify: bool,
+) -> OpenOSR:
     module = func.module
     if module is None:
         raise OSRError(f"@{func.name} is not inside a module")
@@ -388,18 +483,7 @@ def _emit_inline_generation(builder, func, live_values, generator, env,
     )
     gen_fnty = _generator_type(cont_fnty)
 
-    def generator_wrapper(f_obj, block_obj, env_obj, val):
-        produced = generator(
-            _unwrap_ir(f_obj), block_obj, _unwrap_ir(env_obj), val
-        )
-        if isinstance(produced, Function):
-            return engine.handle_for(produced)
-        if callable(produced):
-            return produced
-        raise OSRError(
-            f"open-OSR generator returned non-callable {produced!r}"
-        )
-
+    generator_wrapper = _make_generator_wrapper(generator, engine, func.name)
     gen_handle = engine.object_table.intern(
         engine.add_native(f"osr.gen.{func.name}", generator_wrapper)
     )

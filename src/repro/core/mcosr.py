@@ -39,10 +39,11 @@ from ..ir.values import (
     Value,
 )
 from ..ir.verifier import verify_function
+from ..obs import events as EV
 from ..transform.ssaupdater import SSAUpdater
 from .conditions import OSRCondition
 from .continuation import OSRError
-from .instrument import _emit_osr_check, split_block_at
+from .instrument import _emit_osr_check, _telemetry_for, split_block_at
 
 
 class McOSRPoint:
@@ -81,7 +82,22 @@ def insert_mcosr_point(
     function re-enters itself), which is what the transition-cost
     ablation measures; a real deployment would recompile the function in
     the fired path first.
+
+    Insertion is traced as an ``osr.insert`` span (kind ``mcosr``) on the
+    engine's telemetry (ambient when no engine is given).
     """
+    with _telemetry_for(engine).span(EV.OSR_INSERT, function=func.name,
+                                     kind="mcosr"):
+        return _insert_mcosr_point(func, location, condition, engine, verify)
+
+
+def _insert_mcosr_point(
+    func: Function,
+    location: Instruction,
+    condition: OSRCondition,
+    engine,
+    verify: bool,
+) -> McOSRPoint:
     module = func.module
     if module is None:
         raise OSRError(f"@{func.name} is not inside a module")

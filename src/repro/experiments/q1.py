@@ -10,6 +10,11 @@ threshold, so the measured overhead includes the real per-check work
 (decrement + compare + never-taken branch) plus any code-quality effects
 of carrying the OSR block, matching the paper's setup; ``null`` is passed
 as the stub's ``val`` argument exactly as Section 5.2 describes.
+
+The instrumented engine carries a local telemetry so that "never-firing"
+is a *checked* invariant: after the timed runs the experiment asserts the
+trace holds zero ``osr.fire`` events — a fired point would silently turn
+this into a different experiment.
 """
 
 from __future__ import annotations
@@ -17,10 +22,11 @@ from __future__ import annotations
 from typing import List, NamedTuple, Optional
 
 from ..core import HotCounterCondition, insert_open_osr_point
+from ..obs import local_telemetry
 from ..shootout import SUITE, all_benchmarks, compile_benchmark
 from ..vm import ExecutionEngine
 from .sites import q1_locations
-from .stats import TimingResult, time_run
+from .stats import TimingResult, fire_count, time_run
 
 
 class Q1Row(NamedTuple):
@@ -74,20 +80,31 @@ def run_q1(
                 (f"{benchmark.name}-large", benchmark.large_args, True)
             )
         for label, args, _ in workloads:
+            # both configurations carry the same (local) telemetry so the
+            # subtraction stays fair; steady-state loops never touch it
             native_module = compile_benchmark(benchmark, level)
-            native_engine = ExecutionEngine(native_module, tier="jit")
+            native_engine = ExecutionEngine(native_module, tier="jit",
+                                            telemetry=local_telemetry())
             native = time_run(
                 lambda: native_engine.run(benchmark.entry, *args),
                 trials=trials,
             )
 
             osr_module = compile_benchmark(benchmark, level)
-            osr_engine = ExecutionEngine(osr_module, tier="jit")
+            osr_telemetry = local_telemetry()
+            osr_engine = ExecutionEngine(osr_module, tier="jit",
+                                         telemetry=osr_telemetry)
             instrument_never_firing(osr_module, benchmark, osr_engine)
             osr = time_run(
                 lambda: osr_engine.run(benchmark.entry, *args),
                 trials=trials,
             )
+            fired = fire_count(osr_telemetry)
+            if fired:
+                raise AssertionError(
+                    f"Q1 invariant violated: {fired} osr.fire event(s) in "
+                    f"the never-firing configuration for {label}"
+                )
             rows.append(Q1Row(label, level, native, osr))
     return rows
 

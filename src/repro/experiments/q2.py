@@ -15,6 +15,11 @@ transitions, estimates the cost of one transition — the paper's numbers
 are nanoseconds on hardware; under the Python-JIT substrate they are
 larger in absolute terms but equally *negligible relative to a function
 call*, which is the property the experiment establishes.
+
+Fired transitions are counted through the telemetry layer: the engine's
+``osr.fire`` probe observes every entry into the tagged continuation, so
+the experiment needs no bespoke interposer (both configurations carry
+the same telemetry machinery, keeping the subtraction fair).
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from typing import List, NamedTuple, Optional
 
 from ..analysis.liveness import LivenessInfo
 from ..core import HotCounterCondition, insert_resolved_osr_point
+from ..obs import events as EV
+from ..obs import local_telemetry
 from ..shootout import SUITE, all_benchmarks, compile_benchmark
 from ..vm import ExecutionEngine
 from .sites import q2_location
@@ -43,18 +50,6 @@ class Q2Row(NamedTuple):
         if not self.fired_osrs:
             return 0.0
         return (self.always.best - self.never.best) / self.fired_osrs
-
-
-class _FireCounter:
-    """Wraps a compiled continuation to count fired transitions."""
-
-    def __init__(self, inner):
-        self.inner = inner
-        self.count = 0
-
-    def __call__(self, *args):
-        self.count += 1
-        return self.inner(*args)
 
 
 def _instrument(module, benchmark, engine, threshold: int):
@@ -81,23 +76,26 @@ def run_q2(
 
         # always-firing: threshold 1 fires on the first check of each call
         always_module = compile_benchmark(benchmark, level)
-        always_engine = ExecutionEngine(always_module, tier="jit")
+        always_telemetry = local_telemetry()
+        always_engine = ExecutionEngine(always_module, tier="jit",
+                                        telemetry=always_telemetry)
         result, live_count = _instrument(
             always_module, benchmark, always_engine, threshold=1
         )
-        # count fired transitions by interposing on the continuation
-        compiled = always_engine.get_compiled(result.continuation)
-        counter = _FireCounter(compiled)
-        always_engine._compiled[result.continuation.name] = counter
-        always_engine.invalidate(result.function)
-
         always = time_run(
             lambda: always_engine.run(benchmark.entry, *args), trials=trials
         )
-        fired_per_run = counter.count // (trials + 1)  # warmup + trials
+        # the engine's telemetry probe saw every transfer into the tagged
+        # continuation; warmup + trials runs happened
+        fired_total = sum(
+            1 for e in always_telemetry.events
+            if e["name"] == EV.OSR_FIRE
+        )
+        fired_per_run = fired_total // (trials + 1)
 
         never_module = compile_benchmark(benchmark, level)
-        never_engine = ExecutionEngine(never_module, tier="jit")
+        never_engine = ExecutionEngine(never_module, tier="jit",
+                                       telemetry=local_telemetry())
         _instrument(never_module, benchmark, never_engine,
                     threshold=HotCounterCondition.NEVER)
         never = time_run(

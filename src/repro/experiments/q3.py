@@ -9,11 +9,15 @@ Measures, for each benchmark's hot function:
 
 As in the paper, these are one-shot IR manipulation costs, to be compared
 against the (much larger) cost of JIT-compiling the continuation.
+
+All timings come from the telemetry layer's spans (``osr.insert`` with
+the nested ``osr.open_stub``/``osr.continuation``), so the numbers here
+are exactly what a traced production run would report — no bespoke
+re-measurement of the sub-steps.
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, NamedTuple, Optional
 
 from ..core import (
@@ -21,9 +25,12 @@ from ..core import (
     insert_open_osr_point,
     insert_resolved_osr_point,
 )
+from ..obs import events as EV
+from ..obs import local_telemetry
 from ..shootout import SUITE, all_benchmarks, compile_benchmark
 from ..vm import ExecutionEngine
 from .sites import q1_locations
+from .stats import span_total as _span_total
 
 
 class Q3Row(NamedTuple):
@@ -53,65 +60,44 @@ def run_q3(level: str = "optimized",
         SUITE[name] for name in names
     ]
     for benchmark in benchmarks:
-        # --- open OSR: time point insertion + stub generation -----------------
+        # --- open OSR: point insertion + stub generation -----------------
+        # the insertion helpers trace an osr.insert span with the stub
+        # generation as a nested osr.open_stub span; the split the paper
+        # reports is the difference of the two timers
         open_module = compile_benchmark(benchmark, level)
-        open_engine = ExecutionEngine(open_module, tier="jit")
+        open_telemetry = local_telemetry()
+        open_engine = ExecutionEngine(open_module, tier="jit",
+                                      telemetry=open_telemetry)
         location = q1_locations(open_module, benchmark)[0]
         func = location.function
         ir_size = func.instruction_count
 
-        start = time.perf_counter()
-        open_result = insert_open_osr_point(
+        insert_open_osr_point(
             func, location,
             HotCounterCondition(HotCounterCondition.NEVER),
             _dummy_generator, open_engine, val=None,
         )
-        open_total = time.perf_counter() - start
-        # Apportion: the stub is a few fixed instructions; measure its
-        # regeneration separately for the split the paper reports.
-        from ..core.instrument import build_open_osr_stub
-
-        start = time.perf_counter()
-        build_open_osr_stub(
-            open_result.function, open_result.continuation_block,
-            open_result.live_values, _dummy_generator, None, open_engine,
-            stub_name=f"{func.name}.stub.q3",
-        )
-        open_stub = time.perf_counter() - start
+        open_total = _span_total(open_telemetry, EV.OSR_INSERT)
+        open_stub = _span_total(open_telemetry, EV.OSR_OPEN_STUB)
         open_insert = max(open_total - open_stub, 0.0)
 
-        # --- resolved OSR: time insertion + continuation generation ------------
+        # --- resolved OSR: insertion + continuation generation ------------
+        # same structure: osr.continuation nests inside osr.insert
         res_module = compile_benchmark(benchmark, level)
-        res_engine = ExecutionEngine(res_module, tier="jit")
+        res_telemetry = local_telemetry()
+        res_engine = ExecutionEngine(res_module, tier="jit",
+                                     telemetry=res_telemetry)
         location = q1_locations(res_module, benchmark)[0]
         func = location.function
 
-        start = time.perf_counter()
         res_result = insert_resolved_osr_point(
             func, location,
             HotCounterCondition(HotCounterCondition.NEVER),
             engine=res_engine,
         )
-        resolved_total_all = time.perf_counter() - start
         cont_size = res_result.continuation.instruction_count
-
-        # re-measure the continuation generation alone on a fresh copy
-        from ..core.continuation import generate_continuation
-        from ..core.statemap import StateMapping
-        from ..transform.clone import clone_function
-
-        variant2, _vmap2 = clone_function(
-            res_result.variant,
-            res_module.unique_name(f"{func.name}.q3var"),
-        )
-        landing2 = variant2.get_block(res_result.continuation_block.name)
-        start = time.perf_counter()
-        generate_continuation(
-            variant2, landing2, res_result.live_values,
-            _identity_mapping_for(variant2, landing2, res_result.live_values),
-            name=f"{func.name}.q3cont", module=res_module,
-        )
-        resolved_cont = time.perf_counter() - start
+        resolved_total_all = _span_total(res_telemetry, EV.OSR_INSERT)
+        resolved_cont = _span_total(res_telemetry, EV.OSR_CONTINUATION)
         resolved_insert = max(resolved_total_all - resolved_cont, 0.0)
 
         rows.append(Q3Row(
@@ -120,29 +106,6 @@ def run_q3(level: str = "optimized",
             resolved_insert, resolved_cont, cont_size,
         ))
     return rows
-
-
-def _identity_mapping_for(variant2, landing, live_values):
-    """Rebuild the identity mapping for the re-cloned variant.
-
-    Both the transferred live-value list and the landing's required state
-    are produced by the same deterministic liveness ordering (arguments
-    first, then layout order), and cloning preserves structure — so the
-    two sequences correspond positionally.
-    """
-    from ..core.continuation import required_landing_state
-    from ..core.statemap import FromParam, StateMapping
-
-    required = required_landing_state(variant2, landing)
-    if len(required) != len(live_values):
-        raise AssertionError(
-            f"Q3 identity mapping arity mismatch: {len(required)} landing "
-            f"values vs {len(live_values)} transferred"
-        )
-    mapping = StateMapping()
-    for index, value in enumerate(required):
-        mapping.set(value, FromParam(index))
-    return mapping
 
 
 def format_q3(rows: List[Q3Row]) -> str:

@@ -13,15 +13,22 @@ For each MATLAB benchmark, five configurations:
   (the upper bound).
 
 Speedups are reported against base (JIT), as in Table 4.
+
+Every configuration's VM carries a local telemetry; the per-run cost of
+IIR-level specialization is read off the optimized (JIT) trace's
+``feval.specialize`` spans rather than a bespoke timer, so the figure is
+exactly what a traced production run would report.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..mcvm import McVM, q4_order
 from ..mcvm.programs import Q4_BENCHMARKS, McBenchmark
-from .stats import TimingResult, time_run
+from ..obs import events as EV
+from ..obs import local_telemetry
+from .stats import TimingResult, span_total, time_run
 
 
 class Q4Row(NamedTuple):
@@ -31,6 +38,9 @@ class Q4Row(NamedTuple):
     optimized_jit: TimingResult
     optimized_cached: TimingResult
     direct: TimingResult
+    #: {"count", "total", "mean"} for feval.specialize spans observed in
+    #: the optimized (JIT) configuration (seconds); None pre-telemetry
+    specialize: Optional[Dict[str, float]] = None
 
     def speedups(self) -> Dict[str, float]:
         """Speedups over the base (JIT) configuration, Table 4 style
@@ -45,8 +55,9 @@ class Q4Row(NamedTuple):
 
 
 def _time_vm(benchmark: McBenchmark, source: str, enable_osr: bool,
-             cached: bool, trials: int) -> TimingResult:
-    vm = McVM(source, enable_osr=enable_osr)
+             cached: bool, trials: int) -> Tuple[TimingResult, object]:
+    telemetry = local_telemetry()
+    vm = McVM(source, enable_osr=enable_osr, telemetry=telemetry)
     steps = benchmark.steps
 
     if cached:
@@ -54,7 +65,7 @@ def _time_vm(benchmark: McBenchmark, source: str, enable_osr: bool,
         # continuations), then time steady-state runs
         vm.run(benchmark.entry, steps)
         return time_run(lambda: vm.run(benchmark.entry, steps),
-                        trials=trials, warmup=1)
+                        trials=trials, warmup=1), telemetry
 
     # "JIT" configuration: pay feval-related compilation inside the run.
     # The entry function itself stays compiled (the paper times the
@@ -65,7 +76,21 @@ def _time_vm(benchmark: McBenchmark, source: str, enable_osr: bool,
         vm.clear_feval_caches()
         return vm.run(benchmark.entry, steps)
 
-    return time_run(run_with_cold_feval, trials=trials, warmup=1)
+    return time_run(run_with_cold_feval, trials=trials, warmup=1), telemetry
+
+
+def _specialize_stats(telemetry) -> Dict[str, float]:
+    """Per-trace ``feval.specialize`` span stats (count/total/mean secs)."""
+    count = sum(
+        1 for e in telemetry.events
+        if e["name"] == EV.FEVAL_SPECIALIZE and e["ph"] == "B"
+    )
+    total = span_total(telemetry, EV.FEVAL_SPECIALIZE)
+    return {
+        "count": float(count),
+        "total": total,
+        "mean": total / count if count else 0.0,
+    }
 
 
 def run_q4(trials: int = 3, names: Optional[List[str]] = None) -> List[Q4Row]:
@@ -74,18 +99,20 @@ def run_q4(trials: int = 3, names: Optional[List[str]] = None) -> List[Q4Row]:
         Q4_BENCHMARKS[name] for name in names
     ]
     for benchmark in benchmarks:
+        base_jit, _ = _time_vm(benchmark, benchmark.source, False, False,
+                               trials)
+        base_cached, _ = _time_vm(benchmark, benchmark.source, False, True,
+                                  trials)
+        optimized_jit, opt_telemetry = _time_vm(
+            benchmark, benchmark.source, True, False, trials)
+        optimized_cached, _ = _time_vm(benchmark, benchmark.source, True,
+                                       True, trials)
+        direct, _ = _time_vm(benchmark, benchmark.direct_source, False, True,
+                             trials)
         rows.append(Q4Row(
-            benchmark.name,
-            base_jit=_time_vm(benchmark, benchmark.source, False, False,
-                              trials),
-            base_cached=_time_vm(benchmark, benchmark.source, False, True,
-                                 trials),
-            optimized_jit=_time_vm(benchmark, benchmark.source, True, False,
-                                   trials),
-            optimized_cached=_time_vm(benchmark, benchmark.source, True,
-                                      True, trials),
-            direct=_time_vm(benchmark, benchmark.direct_source, False, True,
-                            trials),
+            benchmark.name, base_jit, base_cached, optimized_jit,
+            optimized_cached, direct,
+            specialize=_specialize_stats(opt_telemetry),
         ))
     return rows
 
@@ -100,10 +127,16 @@ def format_q4(rows: List[Q4Row]) -> str:
     ]
     for row in rows:
         sp = row.speedups()
-        lines.append(
+        line = (
             f"{row.benchmark:<10} {sp['base (cached)']:>12.3f}x "
             f"{sp['optimized (JIT)']:>9.3f}x "
             f"{sp['optimized (cached)']:>11.3f}x "
             f"{sp['direct (by hand)']:>7.3f}x"
         )
+        if row.specialize and row.specialize["count"]:
+            line += (
+                f"   [specialize: {row.specialize['count']:.0f}x, "
+                f"avg {row.specialize['mean'] * 1e6:.1f} us]"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -57,6 +57,32 @@ def time_run(fn: Callable[[], object], trials: int = 5,
     return summarize(samples)
 
 
+def span_total(telemetry, name: str) -> float:
+    """Total seconds spent in ``name`` spans *of this telemetry's trace*.
+
+    Reads the trace rather than the (possibly ambient-shared) metrics
+    timer, so concurrent experiments cannot bleed into each other's
+    numbers.
+    """
+    total = 0.0
+    open_begins: List[int] = []
+    for event in telemetry.events:
+        if event["name"] != name:
+            continue
+        if event["ph"] == "B":
+            open_begins.append(event["ts"])
+        elif event["ph"] == "E" and open_begins:
+            total += (event["ts"] - open_begins.pop()) / 1e9
+    return total
+
+
+def fire_count(telemetry) -> int:
+    """Number of ``osr.fire`` instants in this telemetry's trace."""
+    from ..obs import events as EV
+
+    return sum(1 for e in telemetry.events if e["name"] == EV.OSR_FIRE)
+
+
 def summarize(samples: List[float]) -> TimingResult:
     n = len(samples)
     mean = sum(samples) / n

@@ -40,6 +40,7 @@ from ..ir.function import BasicBlock, Function
 from ..ir.instructions import AllocaInst
 from ..ir.values import ConstantFloat, ConstantNull, Value
 from ..ir.verifier import verify_function
+from ..obs import events as EV
 from ..transform import optimize_function, promote_memory_to_registers
 from . import mcast as M
 from .compiler import CompiledVersion, ir_type_of
@@ -137,7 +138,25 @@ def insert_feval_osr_point(
 
     Must run on the alloca-form function (before mem2reg); it promotes
     everything to SSA itself once the machinery is in place.
+
+    Insertion is traced as an ``osr.insert`` span (kind ``feval``) on the
+    engine's telemetry.
     """
+    from ..core.instrument import _telemetry_for
+
+    func = compiled.ir_function
+    engine = vm.engine
+    with _telemetry_for(engine).span(EV.OSR_INSERT, function=func.name,
+                                     kind="feval"):
+        return _insert_feval_osr_point(vm, compiled, opportunity, threshold)
+
+
+def _insert_feval_osr_point(
+    vm,
+    compiled: CompiledVersion,
+    opportunity: FevalOpportunity,
+    threshold: int,
+) -> FevalOSRPoint:
     func = compiled.ir_function
     engine = vm.engine
     header = compiled.loop_headers.get(opportunity.loop_id)
@@ -258,7 +277,12 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
     """Component 4: the ``gen`` callback fired when the OSR triggers."""
 
     def optimizer(f_ir, osr_block, env_obj, val):
+        tel = getattr(vm.engine, "telemetry", None)
+        traced = tel is not None and tel.enabled
         if not isinstance(val, McFunctionHandleValue):
+            if traced:
+                tel.event(EV.FEVAL_GUARD_FAIL, function=env.function.name,
+                          reason=f"non-handle val {type(val).__name__}")
             raise OSRError(f"feval OSR fired with non-handle val {val!r}")
         target_name = val.name
         cache_key = (env.function.name, env.loop_id, target_name,
@@ -266,9 +290,18 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
         cached = vm.code_cache.get(cache_key)
         if cached is not None:
             vm.stats["feval_cache_hits"] += 1
+            if traced:
+                tel.event(EV.FEVAL_CACHE_HIT, function=env.function.name,
+                          target=target_name)
             return cached
         vm.stats["feval_optimizations"] += 1
+        if traced:
+            with tel.span(EV.FEVAL_SPECIALIZE, function=env.function.name,
+                          target=target_name, loop=env.loop_id):
+                return _specialize(target_name, cache_key, tel)
+        return _specialize(target_name, cache_key, None)
 
+    def _specialize(target_name, cache_key, tel):
         # 4a: profile-driven IIR specialization
         specialized = specialize_feval_to_direct(
             env.function, env.handle_param, target_name
@@ -295,7 +328,7 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
             variant.ir_function, landing,
             _live_value_specs(env), mapping,
             name=f"{variant.ir_function.name}_cont",
-            module=vm.module,
+            module=vm.module, telemetry=tel,
         )
         promote_memory_to_registers(continuation)
         optimize_function(continuation, "optimized")

@@ -131,8 +131,17 @@ def install_runtime(engine: ExecutionEngine, vm) -> None:
     )
 
     def handle_name_matches(value, name_box):
-        return 1 if (isinstance(value, McFunctionHandleValue)
-                     and value.name == name_box.name) else 0
+        if (isinstance(value, McFunctionHandleValue)
+                and value.name == name_box.name):
+            return 1
+        tel = engine.telemetry
+        if tel.enabled:
+            from ..obs import events as EV
+            observed = (value.name if isinstance(value, McFunctionHandleValue)
+                        else type(value).__name__)
+            tel.event(EV.FEVAL_GUARD_FAIL, expected=name_box.name,
+                      observed=observed)
+        return 0
 
     engine.add_native("mc_handle_name_matches", handle_name_matches)
 

@@ -43,7 +43,7 @@ class McVM:
     """A self-contained MATLAB-subset virtual machine."""
 
     def __init__(self, source: str, enable_osr: bool = False,
-                 osr_threshold: int = 2):
+                 osr_threshold: int = 2, telemetry=None):
         self.functions: Dict[str, M.McFunction] = {}
         for function in parse_matlab(source):
             if function.name in self.functions:
@@ -52,7 +52,12 @@ class McVM:
         self.enable_osr = enable_osr
         self.osr_threshold = osr_threshold
         self.module = Module("mcvm")
-        self.engine = ExecutionEngine(self.module, tier="jit")
+        self.engine = ExecutionEngine(self.module, tier="jit",
+                                      telemetry=telemetry)
+        #: the engine's telemetry (explicit or ambient) — feval events
+        #: (``feval.specialize``/``feval.cache_hit``/``feval.guard_fail``)
+        #: land here alongside the engine's own
+        self.telemetry = self.engine.telemetry
         install_runtime(self.engine, self)
         self.inference = TypeInference(call_oracle=self._infer_oracle)
         self.interpreter = IIRInterpreter(self.functions)

@@ -1,0 +1,74 @@
+"""``repro.obs`` — zero-dependency VM observability.
+
+Three layers:
+
+* :class:`Tracer` — cheap structured event tracing (spans + instants);
+* :class:`MetricsRegistry` — named counters/gauges/timers with
+  snapshot and diff support;
+* exporters — Chrome trace-event JSON (Perfetto-loadable), a table
+  report, and a machine-readable stats JSON.
+
+The :class:`Telemetry` facade bundles a tracer and a registry behind a
+single ``enabled`` flag; :data:`NULL_TELEMETRY` is the disabled no-op
+every hook site holds by default, so tracing that is off costs one
+attribute check.  Scripts enable tracing with::
+
+    from repro.obs import trace
+    with trace(chrome="trace.json", report=True):
+        engine = ExecutionEngine(module)
+        engine.run("main")
+
+and inspect traces with ``python -m repro.obs report trace.json``.
+See ``docs/observability.md`` for the event vocabulary.
+"""
+
+from . import events
+from .events import EVENT_NAMES, INSTANT_NAMES, SPAN_NAMES, validate_events
+from .export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    format_report,
+    format_trace_report,
+    load_chrome_trace,
+    stats_document,
+    summarize_chrome_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_stats_json,
+)
+from .metrics import MetricsRegistry
+from .telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    ambient,
+    local_telemetry,
+    set_ambient,
+    trace,
+)
+from .tracer import Tracer
+
+__all__ = [
+    "EVENT_NAMES",
+    "INSTANT_NAMES",
+    "SPAN_NAMES",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "Tracer",
+    "ambient",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "events",
+    "format_report",
+    "format_trace_report",
+    "load_chrome_trace",
+    "local_telemetry",
+    "set_ambient",
+    "stats_document",
+    "summarize_chrome_events",
+    "trace",
+    "validate_chrome_trace",
+    "validate_events",
+    "write_chrome_trace",
+    "write_stats_json",
+]

@@ -1,0 +1,77 @@
+"""Command-line trace tooling.
+
+::
+
+    python -m repro.obs report trace.json     # event counts + span timings
+    python -m repro.obs validate trace.json   # schema check (exit 1 on fail)
+    python -m repro.obs smoke --out trace.json  # traced shootout run
+
+``report`` and ``validate`` accept any Chrome trace-event document (the
+files :func:`repro.obs.write_chrome_trace` and ``make trace-smoke``
+produce, or a bare event array).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import format_trace_report, load_chrome_trace, validate_chrome_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and validate repro VM traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="print the table report")
+    p_report.add_argument("trace", help="Chrome trace-event JSON file")
+
+    p_validate = sub.add_parser("validate",
+                                help="check a trace against the schema")
+    p_validate.add_argument("trace", help="Chrome trace-event JSON file")
+
+    p_smoke = sub.add_parser(
+        "smoke",
+        help="run a traced shootout program and validate the trace",
+    )
+    p_smoke.add_argument("--benchmark", default="n-body")
+    p_smoke.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the Chrome trace to PATH")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        events = load_chrome_trace(args.trace)
+        print(format_trace_report(events, title=f"trace report: {args.trace}"))
+        return 0
+
+    if args.command == "validate":
+        events = load_chrome_trace(args.trace)
+        problems = validate_chrome_trace(events)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: {len(events)} events, schema ok")
+        return 0
+
+    # smoke
+    from .export import chrome_trace_events
+    from .smoke import run_trace_smoke
+
+    result = run_trace_smoke(benchmark_name=args.benchmark, out=args.out)
+    events = chrome_trace_events(result.telemetry)
+    print(format_trace_report(events, title="trace-smoke report"))
+    if args.out:
+        print(f"wrote {args.out}")
+    for problem in result.problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    for name in result.missing:
+        print(f"MISSING: required event {name!r} absent", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The VM-wide event vocabulary and its well-formedness rules.
+
+Every telemetry hook in the runtime emits one of the names below; the
+vocabulary is closed so that traces stay comparable across PRs and the
+exporters/tests can validate streams structurally.  Names are dotted
+``subsystem.action`` pairs, grouped by the layer that emits them:
+
+========================  =====  ==================================================
+name                      kind   emitted when
+========================  =====  ==================================================
+``engine.invalidate``     event  a compiled form is dropped (body rewritten)
+``tier.promote``          event  the tiered dispatcher promotes a function to JIT
+``tier.demote``           event  an invalidation demotes a promoted function
+``profile.call_hot``      event  the call counter crossed its threshold
+``profile.backedge_hot``  event  the loop back-edge counter crossed its threshold
+``jit.compile``           span   cold code generation (source gen + ``compile()``)
+``jit.cache_hit``         event  warm materialization from the code cache
+``jit.cache_miss``        event  the cache had no valid artifact
+``decode.bailout``        event  the pre-decoder fell back to the tree-walker
+``osr.insert``            span   an OSR point is inserted (resolved/open/mcosr/feval)
+``osr.open_stub``         span   an open-OSR stub (Figure 6) is generated
+``osr.continuation``      span   a continuation function (Figure 7) is generated
+``osr.compensation``      event  compensation entries materialized in ``osr.entry``
+``osr.fire``              event  an OSR point fired and control was transferred
+``feval.specialize``      span   the feval optimizer specializes + recompiles
+``feval.cache_hit``       event  a fired feval OSR reused a cached continuation
+``feval.guard_fail``      event  a feval guard/handle check failed at run time
+========================  =====  ==================================================
+
+*event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
+are balanced begin/end pairs (``ph: "B"``/``"E"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+ENGINE_INVALIDATE = "engine.invalidate"
+TIER_PROMOTE = "tier.promote"
+TIER_DEMOTE = "tier.demote"
+PROFILE_CALL_HOT = "profile.call_hot"
+PROFILE_BACKEDGE_HOT = "profile.backedge_hot"
+JIT_COMPILE = "jit.compile"
+JIT_CACHE_HIT = "jit.cache_hit"
+JIT_CACHE_MISS = "jit.cache_miss"
+DECODE_BAILOUT = "decode.bailout"
+OSR_INSERT = "osr.insert"
+OSR_OPEN_STUB = "osr.open_stub"
+OSR_CONTINUATION = "osr.continuation"
+OSR_COMPENSATION = "osr.compensation"
+OSR_FIRE = "osr.fire"
+FEVAL_SPECIALIZE = "feval.specialize"
+FEVAL_CACHE_HIT = "feval.cache_hit"
+FEVAL_GUARD_FAIL = "feval.guard_fail"
+
+#: names emitted as instant events
+INSTANT_NAMES = frozenset({
+    ENGINE_INVALIDATE,
+    TIER_PROMOTE,
+    TIER_DEMOTE,
+    PROFILE_CALL_HOT,
+    PROFILE_BACKEDGE_HOT,
+    JIT_CACHE_HIT,
+    JIT_CACHE_MISS,
+    DECODE_BAILOUT,
+    OSR_COMPENSATION,
+    OSR_FIRE,
+    FEVAL_CACHE_HIT,
+    FEVAL_GUARD_FAIL,
+})
+
+#: names emitted as begin/end span pairs
+SPAN_NAMES = frozenset({
+    JIT_COMPILE,
+    OSR_INSERT,
+    OSR_OPEN_STUB,
+    OSR_CONTINUATION,
+    FEVAL_SPECIALIZE,
+})
+
+#: the complete, closed vocabulary
+EVENT_NAMES = INSTANT_NAMES | SPAN_NAMES
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_events(events: Iterable[Dict[str, object]]) -> List[str]:
+    """Structural well-formedness check for a raw tracer event stream.
+
+    Each event is a dict with ``name``, ``ph`` (``"i"``, ``"B"`` or
+    ``"E"``), ``ts`` (int nanoseconds) and ``args`` (flat dict of JSON
+    scalars).  Returns a list of human-readable problems, empty when the
+    stream is well formed:
+
+    * every name belongs to the vocabulary and uses its declared phase;
+    * timestamps are monotonically non-decreasing;
+    * ``B``/``E`` pairs are balanced and properly nested (stack order);
+    * args carry only JSON-serializable scalar values.
+    """
+    problems: List[str] = []
+    stack: List[str] = []
+    last_ts = None
+    for index, event in enumerate(events):
+        where = f"event #{index}"
+        name = event.get("name")
+        phase = event.get("ph")
+        ts = event.get("ts")
+        args = event.get("args", {})
+        if not isinstance(name, str) or name not in EVENT_NAMES:
+            problems.append(f"{where}: unknown event name {name!r}")
+            continue
+        if phase == "i" and name not in INSTANT_NAMES:
+            problems.append(f"{where}: span name {name!r} emitted as instant")
+        elif phase in ("B", "E") and name not in SPAN_NAMES:
+            problems.append(f"{where}: instant name {name!r} emitted as span")
+        elif phase not in ("i", "B", "E"):
+            problems.append(f"{where}: unknown phase {phase!r}")
+        if not isinstance(ts, int):
+            problems.append(f"{where}: non-integer timestamp {ts!r}")
+        else:
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"{where}: timestamp went backwards ({ts} < {last_ts})"
+                )
+            last_ts = ts
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args is not a dict: {args!r}")
+        else:
+            for key, value in args.items():
+                if not isinstance(key, str):
+                    problems.append(f"{where}: non-string arg key {key!r}")
+                if not isinstance(value, _SCALARS):
+                    problems.append(
+                        f"{where}: arg {key!r} is not a JSON scalar: "
+                        f"{value!r}"
+                    )
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                problems.append(f"{where}: end of {name!r} with no open span")
+            elif stack[-1] != name:
+                problems.append(
+                    f"{where}: end of {name!r} but innermost open span "
+                    f"is {stack[-1]!r}"
+                )
+            else:
+                stack.pop()
+    for name in stack:
+        problems.append(f"span {name!r} was begun but never ended")
+    return problems

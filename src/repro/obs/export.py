@@ -1,0 +1,175 @@
+"""Exporters: Chrome trace-event JSON, table report, stats JSON.
+
+Three consumers of one event stream:
+
+* :func:`write_chrome_trace` — the `Trace Event Format`_ document that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+  directly (open the UI, drag the file in);
+* :func:`format_report` — a human-readable table of event counts and
+  span timings for terminals and logs;
+* :func:`write_stats_json` — the machine-readable metrics snapshot that
+  benchmark JSON documents embed.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: synthetic process/thread ids — the VM is single-process, single-thread
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def chrome_trace_events(telemetry) -> List[Dict[str, object]]:
+    """The tracer's events in Chrome trace-event form (timestamps in µs)."""
+    out: List[Dict[str, object]] = []
+    for event in telemetry.tracer.events:
+        chrome: Dict[str, object] = {
+            "name": event["name"],
+            "cat": str(event["name"]).split(".", 1)[0],
+            "ph": event["ph"],
+            "ts": event["ts"] / 1000.0,
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+        }
+        if event["args"]:
+            chrome["args"] = dict(event["args"])
+        if event["ph"] == "i":
+            chrome["s"] = "t"  # thread-scoped instant
+        out.append(chrome)
+    return out
+
+
+def chrome_trace_document(telemetry) -> Dict[str, object]:
+    return {
+        "traceEvents": chrome_trace_events(telemetry),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(telemetry, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace_document(telemetry), fh, indent=1)
+
+
+def load_chrome_trace(path: str) -> List[Dict[str, object]]:
+    """Events from a Chrome trace document (or bare event array)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, list):
+        return doc
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    return events
+
+
+def validate_chrome_trace(events: List[Dict[str, object]]) -> List[str]:
+    """Structural checks against the trace-event schema; returns problems."""
+    problems: List[str] = []
+    open_spans: List[str] = []
+    last_ts: Optional[float] = None
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing required key {key!r}")
+        phase = event.get("ph")
+        if phase not in ("i", "I", "B", "E", "X", "M", "C"):
+            problems.append(f"{where}: unsupported phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: non-numeric ts {ts!r}")
+        elif phase in ("i", "I", "B", "E", "X"):
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"{where}: timestamp went backwards ({ts} < {last_ts})"
+                )
+            last_ts = ts
+        if phase == "B":
+            open_spans.append(str(event.get("name")))
+        elif phase == "E":
+            if not open_spans:
+                problems.append(f"{where}: 'E' with no open span")
+            else:
+                open_spans.pop()
+    for name in open_spans:
+        problems.append(f"span {name!r} was begun but never ended")
+    return problems
+
+
+def summarize_chrome_events(events: List[Dict[str, object]]
+                            ) -> Dict[str, Dict[str, float]]:
+    """Per-name counts and span durations from Chrome-format events."""
+    summary: Dict[str, Dict[str, float]] = {}
+    stack: List[Dict[str, object]] = []
+    for event in events:
+        name = str(event.get("name"))
+        phase = event.get("ph")
+        if phase in ("i", "I"):
+            cell = summary.setdefault(name, {"count": 0})
+            cell["count"] += 1
+        elif phase == "B":
+            cell = summary.setdefault(name, {"count": 0})
+            cell["count"] += 1
+            stack.append(event)
+        elif phase == "E" and stack:
+            begin = stack.pop()
+            cell = summary.setdefault(str(begin.get("name")), {"count": 0})
+            duration = float(event.get("ts", 0)) - float(begin.get("ts", 0))
+            cell["total_us"] = cell.get("total_us", 0.0) + duration
+        elif phase == "X":
+            cell = summary.setdefault(name, {"count": 0})
+            cell["count"] += 1
+            cell["total_us"] = cell.get("total_us", 0.0) + float(
+                event.get("dur", 0)
+            )
+    return summary
+
+
+def format_trace_report(events: List[Dict[str, object]],
+                        title: str = "trace report") -> str:
+    """Render a Chrome event list as the human-readable table."""
+    summary = summarize_chrome_events(events)
+    lines = [
+        title,
+        f"{'event':<22} {'count':>8} {'total':>12} {'mean':>12}",
+    ]
+    for name in sorted(summary):
+        cell = summary[name]
+        count = int(cell.get("count", 0))
+        if "total_us" in cell and count:
+            total = cell["total_us"]
+            lines.append(
+                f"{name:<22} {count:>8} {total:>9.1f} us "
+                f"{total / count:>9.1f} us"
+            )
+        else:
+            lines.append(f"{name:<22} {count:>8} {'-':>12} {'-':>12}")
+    if len(lines) == 2:
+        lines.append("(no events)")
+    return "\n".join(lines)
+
+
+def format_report(telemetry, title: str = "telemetry report") -> str:
+    """The table report straight from a live telemetry object."""
+    return format_trace_report(chrome_trace_events(telemetry), title=title)
+
+
+def stats_document(telemetry) -> Dict[str, object]:
+    """The machine-readable stats JSON: metrics snapshot + event total."""
+    return {
+        "format": "repro.obs.stats/1",
+        "event_count": len(telemetry.tracer.events),
+        "metrics": telemetry.metrics.snapshot(),
+    }
+
+
+def write_stats_json(telemetry, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(stats_document(telemetry), fh, indent=2, default=str)

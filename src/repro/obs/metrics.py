@@ -1,0 +1,137 @@
+"""Named counters, gauges and timers with snapshot + diff support.
+
+One :class:`MetricsRegistry` is the single stats surface for a VM: the
+execution engine folds its former ad-hoc ``tier_stats()`` counters into
+it, telemetry events bump a counter per event name, and spans accumulate
+into timers — so a benchmark run can snapshot before/after and report
+exactly what the runtime did in between.
+
+Counters are plain dict increments (cheap enough to stay on even without
+tracing); timers store ``(count, total, min, max)`` in seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Process-local registry of named counters, gauges and timers."""
+
+    __slots__ = ("_counters", "_gauges", "_timers")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, list] = {}
+
+    # -- counters -----------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Increment counter ``name`` and return its new value."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Force a counter to an absolute value (back-compat setters)."""
+        self._counters[name] = value
+
+    # -- gauges -------------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to an absolute value."""
+        self._gauges[name] = value
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    # -- timers -------------------------------------------------------------------
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Fold one observation into timer ``name``."""
+        cell = self._timers.get(name)
+        if cell is None:
+            self._timers[name] = [1, seconds, seconds, seconds]
+        else:
+            cell[0] += 1
+            cell[1] += seconds
+            if seconds < cell[2]:
+                cell[2] = seconds
+            if seconds > cell[3]:
+                cell[3] = seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a ``with`` block into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - start)
+
+    def timer_stats(self, name: str) -> Optional[Dict[str, float]]:
+        cell = self._timers.get(name)
+        if cell is None:
+            return None
+        count, total, lo, hi = cell
+        return {"count": count, "total": total, "min": lo, "max": hi,
+                "mean": total / count if count else 0.0}
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A deep, JSON-serializable copy of the registry state."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timers": {
+                name: self.timer_stats(name) for name in self._timers
+            },
+        }
+
+    @staticmethod
+    def diff(before: Dict[str, Dict[str, object]],
+             after: Dict[str, Dict[str, object]]
+             ) -> Dict[str, Dict[str, object]]:
+        """What happened between two snapshots.
+
+        Counter and timer-count/total deltas; gauges report their final
+        value (a gauge is a level, not a flow).  Keys whose delta is zero
+        are omitted so diffs stay readable.
+        """
+        counters = {}
+        for name, value in after.get("counters", {}).items():
+            delta = value - before.get("counters", {}).get(name, 0)
+            if delta:
+                counters[name] = delta
+        timers = {}
+        for name, stats in after.get("timers", {}).items():
+            prior = before.get("timers", {}).get(name)
+            count = stats["count"] - (prior["count"] if prior else 0)
+            total = stats["total"] - (prior["total"] if prior else 0.0)
+            if count:
+                timers[name] = {"count": count, "total": total,
+                                "mean": total / count}
+        return {
+            "counters": counters,
+            "gauges": dict(after.get("gauges", {})),
+            "timers": timers,
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MetricsRegistry {len(self._counters)} counters "
+            f"{len(self._gauges)} gauges {len(self._timers)} timers>"
+        )

@@ -1,0 +1,65 @@
+"""Trace smoke run: a shootout program with tracing on and a firing OSR.
+
+Backs ``make trace-smoke`` and the pytest smoke test: compile one
+shootout benchmark, run it in the default tiered mode with telemetry
+attached and an always-firing resolved OSR point in its per-iteration
+method, export the Chrome trace, and validate it against the
+trace-event schema.  A healthy VM produces at least ``tier.promote``,
+``jit.compile`` and ``osr.fire`` events in one run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .export import chrome_trace_events, validate_chrome_trace, write_chrome_trace
+from .telemetry import Telemetry
+
+#: events a tiered shootout run with a firing OSR point must produce
+REQUIRED_EVENTS = ("tier.promote", "jit.compile", "osr.fire")
+
+
+class SmokeResult:
+    def __init__(self, telemetry: Telemetry, checksum, problems: List[str],
+                 missing: List[str]):
+        self.telemetry = telemetry
+        self.checksum = checksum
+        self.problems = problems  #: schema violations (empty when valid)
+        self.missing = missing    #: required events absent from the trace
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.missing
+
+
+def run_trace_smoke(benchmark_name: str = "n-body",
+                    level: str = "unoptimized",
+                    call_threshold: int = 4,
+                    out: Optional[str] = None) -> SmokeResult:
+    """Run the smoke scenario; optionally write the trace to ``out``."""
+    from ..core import HotCounterCondition, insert_resolved_osr_point
+    from ..experiments.sites import q2_location
+    from ..shootout import SUITE, compile_benchmark
+    from ..vm import ExecutionEngine
+
+    benchmark = SUITE[benchmark_name]
+    module = compile_benchmark(benchmark, level)
+    telemetry = Telemetry()
+    engine = ExecutionEngine(module, tier="tiered",
+                             call_threshold=call_threshold,
+                             telemetry=telemetry)
+    # always-firing resolved OSR in the per-iteration method: every call
+    # transfers to the continuation, so the trace records real fires
+    location = q2_location(module, benchmark)
+    insert_resolved_osr_point(
+        location.function, location, HotCounterCondition(1), engine=engine,
+    )
+    checksum = engine.run(benchmark.entry, *benchmark.args)
+
+    events = chrome_trace_events(telemetry)
+    problems = validate_chrome_trace(events)
+    seen = {str(event["name"]) for event in events}
+    missing = [name for name in REQUIRED_EVENTS if name not in seen]
+    if out is not None:
+        write_chrome_trace(telemetry, out)
+    return SmokeResult(telemetry, checksum, problems, missing)

@@ -1,0 +1,170 @@
+"""The telemetry facade: a tracer + metrics registry behind one switch.
+
+Hook sites across the VM hold a telemetry object and guard every
+emission with its ``enabled`` attribute, so disabled tracing costs one
+attribute check per site::
+
+    tel = engine.telemetry
+    if tel.enabled:
+        tel.event(events.TIER_PROMOTE, function=func.name)
+
+:data:`NULL_TELEMETRY` is the module-level no-op used when nothing is
+attached; its ``span()`` returns a shared no-op context manager so cold
+paths may use ``with tel.span(...)`` unconditionally.
+
+The *ambient* telemetry is what engines pick up when constructed without
+an explicit ``telemetry=`` argument; :func:`trace` installs one for a
+``with`` block and exports the results on exit — the one-liner scripts
+use::
+
+    from repro.obs import trace
+    with trace(chrome="trace.json", report=True) as tel:
+        engine = ExecutionEngine(module)
+        engine.run("main")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+
+class _TelemetrySpan:
+    """Closes the tracer span and folds its duration into the timer."""
+
+    __slots__ = ("_telemetry", "_name")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_TelemetrySpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        seconds = self._telemetry.tracer.end(self._name)
+        self._telemetry.metrics.record_time(self._name, seconds)
+
+
+class Telemetry:
+    """A live tracer/metrics pair; the ``enabled`` flag is always True —
+    disabling means holding :data:`NULL_TELEMETRY` instead."""
+
+    __slots__ = ("tracer", "metrics")
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer = Tracer(clock=clock)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def event(self, name: str, **args) -> None:
+        """Record an instant event and bump its counter."""
+        self.metrics.inc(name)
+        self.tracer.instant(name, args)
+
+    def span(self, name: str, **args) -> _TelemetrySpan:
+        """Open a span (``with`` block): B/E trace pair + timer entry."""
+        self.metrics.inc(name)
+        self.tracer.begin(name, args)
+        return _TelemetrySpan(self, name)
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        return self.tracer.events
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Telemetry {len(self.tracer.events)} events>"
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullTelemetry:
+    """The disabled fast path: every emission is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def event(self, name: str, **args) -> None:
+        pass
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<NullTelemetry>"
+
+
+#: the shared disabled telemetry — ``enabled`` is False, all emissions no-op
+NULL_TELEMETRY = _NullTelemetry()
+
+_ambient = NULL_TELEMETRY
+
+
+def ambient():
+    """The telemetry newly constructed engines attach to by default."""
+    return _ambient
+
+
+def set_ambient(telemetry) -> None:
+    """Install ``telemetry`` (or :data:`NULL_TELEMETRY`) as the ambient
+    default; prefer the :func:`trace` context manager in scripts."""
+    global _ambient
+    _ambient = telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+def local_telemetry() -> Telemetry:
+    """A fresh always-on telemetry for one experiment/configuration.
+
+    Its trace is private (callers read span timings and fire counts off
+    it deterministically, whether or not a :func:`trace` is active), but
+    its metrics fold into the ambient registry when one is installed —
+    so a benchmark runner's per-target snapshot diff still sees what the
+    experiment engines did.
+    """
+    amb = _ambient
+    return Telemetry(metrics=amb.metrics if amb.enabled else None)
+
+
+@contextmanager
+def trace(chrome: Optional[str] = None, stats: Optional[str] = None,
+          report: bool = False,
+          clock: Optional[Callable[[], int]] = None):
+    """Enable tracing for a ``with`` block and export on exit.
+
+    ``chrome`` / ``stats`` are output paths for the Chrome trace-event
+    JSON and the machine-readable stats JSON; ``report=True`` prints the
+    human-readable table on exit.  Yields the live :class:`Telemetry` so
+    the block can also inspect metrics directly.
+    """
+    from .export import format_report, write_chrome_trace, write_stats_json
+
+    telemetry = Telemetry(clock=clock)
+    previous = _ambient
+    set_ambient(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_ambient(previous)
+        if chrome is not None:
+            write_chrome_trace(telemetry, chrome)
+        if stats is not None:
+            write_stats_json(telemetry, stats)
+        if report:
+            print(format_report(telemetry))

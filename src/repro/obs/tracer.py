@@ -1,0 +1,100 @@
+"""Structured event tracing with a cheap, nestable span/event API.
+
+The tracer records a flat, append-only list of event dicts —
+``{"name", "ph", "ts", "args"}`` with nanosecond timestamps — that the
+exporters turn into Chrome trace-event JSON, tables or stats documents.
+Spans are balanced ``B``/``E`` pairs maintained through a context
+manager, so streams are well formed by construction (and
+:func:`repro.obs.events.validate_events` checks it independently).
+
+The clock is injectable for deterministic tests; the default is
+:func:`time.perf_counter_ns`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class _SpanGuard:
+    """Context manager closing one span; created per ``span()`` call."""
+
+    __slots__ = ("_tracer", "_name")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanGuard":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.end(self._name)
+
+
+class Tracer:
+    """Collects trace events; one per :class:`~repro.obs.Telemetry`."""
+
+    __slots__ = ("events", "_clock", "_stack", "_last_ts")
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self.events: List[Dict[str, object]] = []
+        self._clock = clock if clock is not None else time.perf_counter_ns
+        self._stack: List[int] = []  # indices of open B events
+        self._last_ts: int = 0
+
+    def _now(self) -> int:
+        # clamp so a non-monotonic injected clock cannot corrupt the
+        # stream invariant the exporters rely on
+        ts = self._clock()
+        if ts < self._last_ts:
+            ts = self._last_ts
+        self._last_ts = ts
+        return ts
+
+    def instant(self, name: str, args: Dict[str, object]) -> None:
+        self.events.append(
+            {"name": name, "ph": "i", "ts": self._now(), "args": args}
+        )
+
+    def begin(self, name: str, args: Dict[str, object]) -> None:
+        self._stack.append(len(self.events))
+        self.events.append(
+            {"name": name, "ph": "B", "ts": self._now(), "args": args}
+        )
+
+    def end(self, name: str) -> float:
+        """Close the innermost span; returns its duration in seconds."""
+        ts = self._now()
+        if not self._stack:
+            raise RuntimeError(f"end({name!r}) with no open span")
+        begin_index = self._stack.pop()
+        begin_event = self.events[begin_index]
+        if begin_event["name"] != name:
+            raise RuntimeError(
+                f"end({name!r}) but innermost open span is "
+                f"{begin_event['name']!r}"
+            )
+        self.events.append({"name": name, "ph": "E", "ts": ts, "args": {}})
+        return (ts - begin_event["ts"]) / 1e9
+
+    def span(self, name: str, args: Dict[str, object]) -> _SpanGuard:
+        """Open a span closed at ``with`` exit."""
+        self.begin(name, args)
+        return _SpanGuard(self, name)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise RuntimeError("cannot clear a tracer with open spans")
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Tracer {len(self.events)} events>"

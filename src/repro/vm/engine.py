@@ -36,6 +36,9 @@ from ..ir.values import (
     ConstantString,
     GlobalVariable,
 )
+from ..obs import events as EV
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import ambient as ambient_telemetry
 from .decode import DecodeError, DecodedFunction, decode_function
 from .interpreter import Interpreter, Trap
 from .jit import compile_function
@@ -115,7 +118,8 @@ class ExecutionEngine:
     def __init__(self, module: Module, tier: str = "tiered",
                  interp_step_limit: Optional[int] = None,
                  call_threshold: int = DEFAULT_CALL_THRESHOLD,
-                 backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD):
+                 backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
+                 telemetry=None):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
@@ -132,15 +136,61 @@ class ExecutionEngine:
         self._tier_overrides: Dict[str, str] = {}
         #: statistics: per-function call counts (profiling substrate)
         self.call_counts: Dict[str, int] = {}
-        #: number of functions compiled (Q3-style accounting)
-        self.compile_count = 0
-        #: tier-up machinery and cache statistics
+        #: telemetry sink for structured events; defaults to the ambient
+        #: telemetry (the no-op unless a ``repro.obs.trace`` is active)
+        self.telemetry = (telemetry if telemetry is not None
+                          else ambient_telemetry())
+        #: the single stats surface: cache/tier counters live here, shared
+        #: with the telemetry's registry when tracing is on so event
+        #: counts and engine counters are one namespace
+        self.metrics = (self.telemetry.metrics if self.telemetry.enabled
+                        else MetricsRegistry())
+        #: tier-up machinery
         self.profiler = TierProfiler(call_threshold, backedge_threshold)
-        self.jit_cache_hits = 0
-        self.jit_cache_misses = 0
-        self.tier_promotions = 0
-        self.decode_fallbacks = 0
         self._install_default_natives()
+
+    # -- counter back-compat (now backed by the metrics registry) ---------------
+
+    @property
+    def compile_count(self) -> int:
+        """Number of functions compiled (Q3-style accounting)."""
+        return self.metrics.counter("engine.compile")
+
+    @compile_count.setter
+    def compile_count(self, value: int) -> None:
+        self.metrics.set_counter("engine.compile", value)
+
+    @property
+    def jit_cache_hits(self) -> int:
+        return self.metrics.counter(EV.JIT_CACHE_HIT)
+
+    @jit_cache_hits.setter
+    def jit_cache_hits(self, value: int) -> None:
+        self.metrics.set_counter(EV.JIT_CACHE_HIT, value)
+
+    @property
+    def jit_cache_misses(self) -> int:
+        return self.metrics.counter(EV.JIT_CACHE_MISS)
+
+    @jit_cache_misses.setter
+    def jit_cache_misses(self, value: int) -> None:
+        self.metrics.set_counter(EV.JIT_CACHE_MISS, value)
+
+    @property
+    def tier_promotions(self) -> int:
+        return self.metrics.counter(EV.TIER_PROMOTE)
+
+    @tier_promotions.setter
+    def tier_promotions(self, value: int) -> None:
+        self.metrics.set_counter(EV.TIER_PROMOTE, value)
+
+    @property
+    def decode_fallbacks(self) -> int:
+        return self.metrics.counter(EV.DECODE_BAILOUT)
+
+    @decode_fallbacks.setter
+    def decode_fallbacks(self, value: int) -> None:
+        self.metrics.set_counter(EV.DECODE_BAILOUT, value)
 
     # -- natives -----------------------------------------------------------------
 
@@ -268,9 +318,24 @@ class ExecutionEngine:
             compiled = self._make_decoded_thunk(func)
         else:  # tiered
             compiled = self._make_tiered_dispatcher(func)
-        self.compile_count += 1
+        tel = self.telemetry
+        if tel.enabled and func.attributes.get("osr.entrypoint") == "resolved":
+            # resolved-OSR continuations are entered straight from the osr
+            # block's tail call; interpose so the transfer is observable
+            compiled = self._osr_fire_probe(func, compiled, tel)
+        self.metrics.inc("engine.compile")
         self._compiled[func.name] = compiled
         return compiled
+
+    @staticmethod
+    def _osr_fire_probe(func: Function, compiled: Callable,
+                        tel) -> Callable:
+        def fired(*args):
+            tel.event(EV.OSR_FIRE, kind="resolved", continuation=func.name)
+            return compiled(*args)
+
+        fired.__name__ = f"osrfire_{func.name}"
+        return fired
 
     def _make_interp_thunk(self, func: Function) -> Callable:
         engine = self
@@ -293,8 +358,13 @@ class ExecutionEngine:
         """
         try:
             decoded = decode_function(func, self)
-        except DecodeError:
-            self.decode_fallbacks += 1
+        except DecodeError as error:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.event(EV.DECODE_BAILOUT, function=func.name,
+                          reason=str(error))
+            else:
+                self.metrics.inc(EV.DECODE_BAILOUT)
             return self._make_interp_thunk(func)
         self._decoded[func.name] = decoded
         limit = self._interp_step_limit
@@ -335,10 +405,25 @@ class ExecutionEngine:
                 return promoted(*args)
             profile.calls += 1
             if profiler.should_promote(profile):
+                tel = engine.telemetry
+                if tel.enabled:
+                    call_hot = profile.calls >= profiler.call_threshold
+                    tel.event(
+                        EV.PROFILE_CALL_HOT if call_hot
+                        else EV.PROFILE_BACKEDGE_HOT,
+                        function=func.name, calls=profile.calls,
+                        backedges=profile.backedges,
+                    )
                 promoted = compile_function(func, engine)
                 promoted_box[0] = promoted
                 profile.promoted_version = func.code_version
-                engine.tier_promotions += 1
+                if tel.enabled:
+                    tel.event(EV.TIER_PROMOTE, function=func.name,
+                              code_version=func.code_version,
+                              calls=profile.calls,
+                              backedges=profile.backedges)
+                else:
+                    engine.metrics.inc(EV.TIER_PROMOTE)
                 handle = engine._handles.get(func.name)
                 if handle is not None:
                     handle.invalidate()
@@ -367,11 +452,22 @@ class ExecutionEngine:
         Called after instrumentation or replacement — the moral
         equivalent of MCJIT module re-finalization for that function.
         Bumps the function's ``code_version`` so the cross-engine code
-        cache and the decoded tier drop their stale artifacts too.
+        cache and the decoded tier drop their stale artifacts too, and
+        demotes the function's :class:`FunctionProfile` (call/backedge
+        counters reset) so the rewritten body re-earns its promotion
+        instead of instantly re-tiering on stale counters.
         """
         func.bump_code_version()
         self._compiled.pop(func.name, None)
         self._decoded.pop(func.name, None)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(EV.ENGINE_INVALIDATE, function=func.name,
+                      code_version=func.code_version)
+            profile = self.profiler._profiles.get(func.name)
+            if profile is not None and profile.promoted:
+                tel.event(EV.TIER_DEMOTE, function=func.name,
+                          calls=profile.calls, backedges=profile.backedges)
         self.profiler.invalidate(func.name)
         handle = self._handles.get(func.name)
         if handle is not None:
@@ -414,8 +510,32 @@ class ExecutionEngine:
 
     # -- statistics ---------------------------------------------------------------------
 
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The engine's metrics snapshot plus the per-function profiles.
+
+        This is the one stats surface: counters, gauges and timers from
+        :attr:`metrics` (shared with any attached telemetry) and the
+        :class:`TierProfiler`'s per-function hotness state.
+        """
+        snapshot = self.metrics.snapshot()
+        snapshot["profiles"] = self.profiler.snapshot()
+        return snapshot
+
     def tier_stats(self) -> Dict[str, Any]:
-        """Snapshot of cache/tier counters for tooling and benchmarks."""
+        """Snapshot of cache/tier counters for tooling and benchmarks.
+
+        .. deprecated:: PR 2
+           Thin wrapper kept for back-compat; the counters now live in
+           :attr:`metrics` (a :class:`~repro.obs.MetricsRegistry`) — use
+           :meth:`stats_snapshot` for the full picture.
+        """
+        import warnings
+
+        warnings.warn(
+            "ExecutionEngine.tier_stats() is deprecated; use "
+            "stats_snapshot() (metrics registry + profiles) instead",
+            DeprecationWarning, stacklevel=2,
+        )
         return {
             "compile_count": self.compile_count,
             "jit_cache_hits": self.jit_cache_hits,

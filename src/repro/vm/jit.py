@@ -760,18 +760,31 @@ def compile_function(func: Function, engine):
 
     Warm path (the function's cached artifact is still valid): descriptor
     resolution + ``exec`` only.  Cold path: full source generation and
-    ``compile()`` first.  The engine's ``jit_cache_hits``/``jit_cache_misses``
-    counters record which path ran.
+    ``compile()`` first.  Which path ran is recorded in the engine's
+    metrics (``jit.cache_hit``/``jit.cache_miss``), and an attached
+    telemetry additionally traces a ``jit.compile`` span around cold
+    code generation.
     """
+    from ..obs import events as EV
+
     cached = func._cached_code
     hit = cached is not None and cached.matches(func)
-    artifact = cached if hit else codegen_function(func)
+    tel = getattr(engine, "telemetry", None)
+    metrics = getattr(engine, "metrics", None)
     if hit:
-        count = getattr(engine, "jit_cache_hits", None)
-        if count is not None:
-            engine.jit_cache_hits = count + 1
+        if tel is not None and tel.enabled:
+            tel.event(EV.JIT_CACHE_HIT, function=func.name,
+                      code_version=func.code_version)
+        elif metrics is not None:
+            metrics.inc(EV.JIT_CACHE_HIT)
+        return cached.instantiate(engine)
+    if tel is not None and tel.enabled:
+        tel.event(EV.JIT_CACHE_MISS, function=func.name)
+        with tel.span(EV.JIT_COMPILE, function=func.name,
+                      code_version=func.code_version):
+            artifact = codegen_function(func)
     else:
-        count = getattr(engine, "jit_cache_misses", None)
-        if count is not None:
-            engine.jit_cache_misses = count + 1
+        if metrics is not None:
+            metrics.inc(EV.JIT_CACHE_MISS)
+        artifact = codegen_function(func)
     return artifact.instantiate(engine)

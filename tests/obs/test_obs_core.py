@@ -1,0 +1,277 @@
+"""Unit tests for the observability core: tracer, metrics, telemetry,
+event-vocabulary validation and the exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    ambient,
+    chrome_trace_document,
+    chrome_trace_events,
+    events,
+    format_report,
+    load_chrome_trace,
+    set_ambient,
+    stats_document,
+    trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    """Deterministic nanosecond clock: each call advances by ``step``."""
+
+    def __init__(self, step=1000):
+        self.now = 0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestTracer:
+    def test_instants_and_spans_are_recorded_in_order(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant(events.TIER_PROMOTE, {"function": "f"})
+        with tracer.span(events.JIT_COMPILE, {"function": "f"}):
+            tracer.instant(events.JIT_CACHE_MISS, {})
+        phases = [e["ph"] for e in tracer.events]
+        assert phases == ["i", "B", "i", "E"]
+        assert events.validate_events(tracer.events) == []
+
+    def test_timestamps_are_monotonic_even_with_bad_clock(self):
+        ticks = iter([100, 50, 400, 10])
+        tracer = Tracer(clock=lambda: next(ticks))
+        for _ in range(4):
+            tracer.instant(events.OSR_FIRE, {})
+        ts = [e["ts"] for e in tracer.events]
+        assert ts == sorted(ts)
+
+    def test_end_returns_duration_seconds(self):
+        tracer = Tracer(clock=FakeClock(step=500))
+        tracer.begin(events.JIT_COMPILE, {})
+        assert tracer.end(events.JIT_COMPILE) == pytest.approx(500 / 1e9)
+
+    def test_unbalanced_end_raises(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            tracer.end(events.JIT_COMPILE)
+        tracer.begin(events.JIT_COMPILE, {})
+        with pytest.raises(RuntimeError):
+            tracer.end(events.OSR_INSERT)
+
+    def test_clear_refuses_with_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin(events.OSR_INSERT, {})
+        with pytest.raises(RuntimeError):
+            tracer.clear()
+        tracer.end(events.OSR_INSERT)
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_timers(self):
+        metrics = MetricsRegistry()
+        assert metrics.inc("a") == 1
+        assert metrics.inc("a", 4) == 5
+        assert metrics.counter("a") == 5
+        assert metrics.counter("missing") == 0
+        metrics.gauge("depth", 3.5)
+        assert metrics.gauge_value("depth") == 3.5
+        metrics.record_time("t", 0.25)
+        metrics.record_time("t", 0.75)
+        stats = metrics.timer_stats("t")
+        assert stats["count"] == 2
+        assert stats["total"] == pytest.approx(1.0)
+        assert stats["min"] == 0.25 and stats["max"] == 0.75
+        assert stats["mean"] == pytest.approx(0.5)
+
+    def test_timer_context_manager(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("block"):
+            pass
+        assert metrics.timer_stats("block")["count"] == 1
+
+    def test_snapshot_diff_reports_only_what_changed(self):
+        metrics = MetricsRegistry()
+        metrics.inc("x")
+        before = metrics.snapshot()
+        metrics.inc("x", 2)
+        metrics.inc("y")
+        metrics.record_time("t", 1.0)
+        after = metrics.snapshot()
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["counters"] == {"x": 2, "y": 1}
+        assert delta["timers"]["t"]["count"] == 1
+        # snapshots are detached copies
+        metrics.inc("x")
+        assert after["counters"]["x"] == 3
+
+    def test_snapshot_is_json_serializable(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.gauge("g", 1.0)
+        metrics.record_time("t", 0.1)
+        json.dumps(metrics.snapshot())
+
+
+class TestTelemetry:
+    def test_event_records_trace_and_counter_once(self):
+        tel = Telemetry(clock=FakeClock())
+        tel.event(events.TIER_PROMOTE, function="f")
+        assert tel.metrics.counter(events.TIER_PROMOTE) == 1
+        assert len(tel.events) == 1
+
+    def test_span_feeds_the_timer(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span(events.JIT_COMPILE, function="f"):
+            pass
+        assert tel.metrics.counter(events.JIT_COMPILE) == 1
+        assert tel.metrics.timer_stats(events.JIT_COMPILE)["count"] == 1
+        assert events.validate_events(tel.events) == []
+
+    def test_null_telemetry_is_inert(self):
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.event(events.OSR_FIRE, kind="open")
+        with NULL_TELEMETRY.span(events.JIT_COMPILE):
+            pass
+        # spans share one guard object: no per-call allocation
+        assert NULL_TELEMETRY.span(events.OSR_INSERT) is NULL_TELEMETRY.span(
+            events.OSR_INSERT)
+
+    def test_trace_context_installs_and_restores_ambient(self, tmp_path):
+        chrome = tmp_path / "trace.json"
+        stats = tmp_path / "stats.json"
+        assert ambient() is NULL_TELEMETRY
+        with trace(chrome=str(chrome), stats=str(stats),
+                   clock=FakeClock()) as tel:
+            assert ambient() is tel
+            tel.event(events.OSR_FIRE, kind="open")
+        assert ambient() is NULL_TELEMETRY
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"][0]["name"] == events.OSR_FIRE
+        stats_doc = json.loads(stats.read_text())
+        assert stats_doc["format"].startswith("repro.obs.stats/")
+        assert stats_doc["metrics"]["counters"][events.OSR_FIRE] == 1
+
+    def test_set_ambient_none_resets_to_null(self):
+        tel = Telemetry()
+        set_ambient(tel)
+        try:
+            assert ambient() is tel
+        finally:
+            set_ambient(None)
+        assert ambient() is NULL_TELEMETRY
+
+
+class TestEventVocabulary:
+    def test_vocabulary_is_closed_and_consistent(self):
+        assert events.INSTANT_NAMES.isdisjoint(events.SPAN_NAMES)
+        assert events.EVENT_NAMES == events.INSTANT_NAMES | events.SPAN_NAMES
+        for name in events.EVENT_NAMES:
+            assert "." in name  # dotted subsystem.action pairs
+
+    def test_validate_flags_unknown_names_and_phases(self):
+        bad = [
+            {"name": "nope.nope", "ph": "i", "ts": 1, "args": {}},
+            {"name": events.JIT_COMPILE, "ph": "i", "ts": 2, "args": {}},
+            {"name": events.OSR_FIRE, "ph": "B", "ts": 3, "args": {}},
+        ]
+        problems = events.validate_events(bad)
+        assert len(problems) >= 3
+
+    def test_validate_flags_backwards_time_and_imbalance(self):
+        bad = [
+            {"name": events.JIT_COMPILE, "ph": "B", "ts": 10, "args": {}},
+            {"name": events.OSR_FIRE, "ph": "i", "ts": 5, "args": {}},
+        ]
+        problems = events.validate_events(bad)
+        assert any("backwards" in p for p in problems)
+        assert any("never ended" in p for p in problems)
+
+    def test_validate_flags_non_scalar_args(self):
+        bad = [{"name": events.OSR_FIRE, "ph": "i", "ts": 1,
+                "args": {"x": [1, 2]}}]
+        assert events.validate_events(bad)
+
+
+class TestExporters:
+    def _telemetry(self):
+        tel = Telemetry(clock=FakeClock())
+        with tel.span(events.JIT_COMPILE, function="f", code_version=0):
+            tel.event(events.JIT_CACHE_MISS, function="f")
+        tel.event(events.OSR_FIRE, kind="open")
+        return tel
+
+    def test_chrome_events_schema(self):
+        tel = self._telemetry()
+        chrome = chrome_trace_events(tel)
+        assert validate_chrome_trace(chrome) == []
+        for event in chrome:
+            assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid"}
+        cats = {e["cat"] for e in chrome}
+        assert cats == {"jit", "osr"}
+        instants = [e for e in chrome if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_chrome_document_round_trip(self, tmp_path):
+        tel = self._telemetry()
+        doc = chrome_trace_document(tel)
+        assert doc["displayTimeUnit"] == "ms"
+        path = tmp_path / "t.json"
+        write_chrome_trace(tel, str(path))
+        loaded = load_chrome_trace(str(path))
+        assert loaded == doc["traceEvents"]
+        # a bare event array loads too
+        path.write_text(json.dumps(doc["traceEvents"]))
+        assert load_chrome_trace(str(path)) == doc["traceEvents"]
+
+    def test_report_and_stats(self):
+        tel = self._telemetry()
+        report = format_report(tel)
+        assert events.JIT_COMPILE in report
+        assert events.OSR_FIRE in report
+        doc = stats_document(tel)
+        assert doc["event_count"] == len(tel.events)
+        assert doc["metrics"]["counters"][events.OSR_FIRE] == 1
+        json.dumps(doc)
+
+    def test_validate_chrome_trace_catches_corruption(self):
+        tel = self._telemetry()
+        chrome = chrome_trace_events(tel)
+        chrome[0] = dict(chrome[0], ph="X")
+        assert validate_chrome_trace(chrome)
+
+
+class TestCLI:
+    def test_report_and_validate_commands(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        tel = Telemetry(clock=FakeClock())
+        tel.event(events.TIER_PROMOTE, function="f")
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tel, str(path))
+
+        assert main(["report", str(path)]) == 0
+        assert events.TIER_PROMOTE in capsys.readouterr().out
+        assert main(["validate", str(path)]) == 0
+        assert "schema ok" in capsys.readouterr().out
+
+    def test_validate_command_rejects_bad_trace(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            [{"name": "x", "cat": "x", "ph": "Z", "ts": 1,
+              "pid": 1, "tid": 1}]
+        ))
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err

@@ -1,0 +1,339 @@
+"""Integration tests: the VM's telemetry hooks.
+
+Covers the event streams real runs produce (well-formedness and
+vocabulary), the single-stats-surface invariant (engine counters ==
+telemetry counters, incremented exactly once), the invalidate-demotes
+regression, the deprecated ``tier_stats()`` wrapper, and the no-op
+fast path.
+"""
+
+import time
+import warnings
+
+import pytest
+
+from repro.core import HotCounterCondition, insert_resolved_osr_point
+from repro.ir import parse_module
+from repro.obs import (
+    NULL_TELEMETRY,
+    Telemetry,
+    events,
+    trace,
+    validate_chrome_trace,
+)
+from repro.obs.export import chrome_trace_events
+from repro.vm import DecodeError, ExecutionEngine
+
+LOOP = """
+define i64 @sumto(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i1, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc1, %loop ]
+  %acc1 = add i64 %acc, %i
+  %i1 = add i64 %i, 1
+  %c = icmp sle i64 %i1, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %acc1
+}
+"""
+
+
+def _tiered(telemetry=None, **kwargs):
+    module = parse_module(LOOP)
+    engine = ExecutionEngine(module, tier="tiered", telemetry=telemetry,
+                             **kwargs)
+    return engine, module
+
+
+class TestEngineStreams:
+    def test_tier_up_stream_is_well_formed(self):
+        tel = Telemetry()
+        engine, _ = _tiered(telemetry=tel, call_threshold=3)
+        for _ in range(4):
+            assert engine.run("sumto", 5) == 15
+        assert events.validate_events(tel.events) == []
+        names = [e["name"] for e in tel.events]
+        assert events.PROFILE_CALL_HOT in names
+        assert events.TIER_PROMOTE in names
+        assert events.JIT_COMPILE in names
+        assert events.JIT_CACHE_MISS in names
+        # the call-hot crossing is observed before the promotion
+        assert (names.index(events.PROFILE_CALL_HOT)
+                < names.index(events.TIER_PROMOTE))
+
+    def test_backedge_hot_variant(self):
+        tel = Telemetry()
+        engine, _ = _tiered(telemetry=tel, call_threshold=1000,
+                            backedge_threshold=50)
+        engine.run("sumto", 200)
+        engine.run("sumto", 5)
+        names = [e["name"] for e in tel.events]
+        assert events.PROFILE_BACKEDGE_HOT in names
+        assert events.PROFILE_CALL_HOT not in names
+
+    def test_engine_shares_the_telemetry_registry(self):
+        tel = Telemetry()
+        engine, _ = _tiered(telemetry=tel, call_threshold=2)
+        assert engine.metrics is tel.metrics
+        for _ in range(3):
+            engine.run("sumto", 5)
+        # counters and trace agree: every event counted exactly once
+        promote_instants = sum(
+            1 for e in tel.events if e["name"] == events.TIER_PROMOTE
+        )
+        assert promote_instants == 1
+        assert tel.metrics.counter(events.TIER_PROMOTE) == 1
+        assert engine.tier_promotions == 1  # back-compat property, same cell
+
+    def test_resolved_osr_stream(self):
+        tel = Telemetry()
+        engine, module = _tiered(telemetry=tel)
+        func = module.get_function("sumto")
+        loop = func.get_block("loop")
+        point = insert_resolved_osr_point(
+            func, loop.instructions[loop.first_non_phi_index],
+            HotCounterCondition(3), engine=engine,
+        )
+        assert point.continuation.attributes["osr.entrypoint"] == "resolved"
+        assert engine.run("sumto", 50) == sum(range(51))
+        assert events.validate_events(tel.events) == []
+        names = [e["name"] for e in tel.events]
+        for expected in (events.OSR_INSERT, events.OSR_CONTINUATION,
+                         events.OSR_COMPENSATION, events.ENGINE_INVALIDATE,
+                         events.OSR_FIRE):
+            assert expected in names, expected
+        # the continuation span nests inside the insertion span
+        assert (names.index(events.OSR_INSERT)
+                < names.index(events.OSR_CONTINUATION))
+        fires = [e for e in tel.events if e["name"] == events.OSR_FIRE]
+        assert fires[0]["args"]["kind"] == "resolved"
+        assert tel.metrics.counter(events.OSR_FIRE) == len(fires) == 1
+        assert tel.metrics.timer_stats(events.OSR_INSERT)["count"] == 1
+
+    def test_decode_bailout_records_reason(self, monkeypatch):
+        from repro.vm import engine as engine_mod
+
+        def boom(func, engine):
+            raise DecodeError("synthetic bailout")
+
+        monkeypatch.setattr(engine_mod, "decode_function", boom)
+        tel = Telemetry()
+        module = parse_module(LOOP)
+        engine = ExecutionEngine(module, tier="decoded", telemetry=tel)
+        assert engine.run("sumto", 5) == 15  # tree-walker fallback
+        bailouts = [e for e in tel.events
+                    if e["name"] == events.DECODE_BAILOUT]
+        assert len(bailouts) == 1
+        assert "synthetic bailout" in bailouts[0]["args"]["reason"]
+        assert engine.decode_fallbacks == 1
+
+    def test_chrome_export_of_a_real_run(self):
+        tel = Telemetry()
+        engine, _ = _tiered(telemetry=tel, call_threshold=2)
+        for _ in range(3):
+            engine.run("sumto", 5)
+        chrome = chrome_trace_events(tel)
+        assert validate_chrome_trace(chrome) == []
+
+    def test_ambient_pickup_via_trace(self):
+        with trace() as tel:
+            engine, _ = _tiered(call_threshold=2)
+            assert engine.telemetry is tel
+            for _ in range(3):
+                engine.run("sumto", 5)
+        assert tel.metrics.counter(events.TIER_PROMOTE) == 1
+        # outside the block new engines are quiet again
+        engine2, _ = _tiered()
+        assert engine2.telemetry is NULL_TELEMETRY
+
+
+class TestMcVMStreams:
+    SOURCE = """
+function y = sq(x)
+  y = x * x;
+end
+
+function w = accumulate(g, n)
+  w = 0.0;
+  i = 0.0;
+  while i < n
+    w = w + feval(g, i);
+    i = i + 1.0;
+  end
+end
+
+function r = main(n)
+  r = accumulate(@sq, n);
+end
+"""
+
+    def test_feval_osr_stream(self):
+        from repro.mcvm import McVM
+
+        tel = Telemetry()
+        vm = McVM(self.SOURCE, enable_osr=True, telemetry=tel)
+        assert vm.telemetry is tel
+        vm.run("main", 200)
+        assert events.validate_events(tel.events) == []
+        names = [e["name"] for e in tel.events]
+        assert events.FEVAL_SPECIALIZE in names
+        assert events.OSR_FIRE in names
+        inserts = [e for e in tel.events if e["name"] == events.OSR_INSERT
+                   and e["ph"] == "B"]
+        assert any(e["args"]["kind"] == "feval" for e in inserts)
+        fires = [e for e in tel.events if e["name"] == events.OSR_FIRE]
+        assert all(e["args"]["kind"] == "open" for e in fires)
+        # the second run reuses the cached continuation
+        vm.run("main", 200)
+        assert tel.metrics.counter(events.FEVAL_CACHE_HIT) >= 1
+        assert tel.metrics.counter(events.FEVAL_SPECIALIZE) == 1
+
+    def test_mcosr_insert_traced(self):
+        from repro.core.mcosr import insert_mcosr_point
+
+        tel = Telemetry()
+        module = parse_module(LOOP)
+        engine = ExecutionEngine(module, tier="jit", telemetry=tel)
+        func = module.get_function("sumto")
+        loop = func.get_block("loop")
+        insert_mcosr_point(
+            func, loop.instructions[loop.first_non_phi_index],
+            HotCounterCondition(10), engine=engine,
+        )
+        inserts = [e for e in tel.events if e["name"] == events.OSR_INSERT
+                   and e["ph"] == "B"]
+        assert len(inserts) == 1
+        assert inserts[0]["args"]["kind"] == "mcosr"
+        assert events.validate_events(tel.events) == []
+
+
+class TestInvalidateDemotes:
+    def test_invalidate_resets_profile_counters(self):
+        """Regression: a rewritten function must re-earn its promotion —
+        stale call/backedge counters would instantly re-tier it."""
+        engine, module = _tiered(call_threshold=3)
+        func = module.get_function("sumto")
+        for _ in range(4):
+            engine.run("sumto", 5)
+        profile = engine.profiler.profile_for("sumto")
+        assert profile.promoted
+        engine.invalidate(func)
+        assert not profile.promoted
+        assert profile.calls == 0
+        assert profile.backedges == 0
+        # one call after the rewrite must NOT re-promote (3 needed)
+        assert engine.run("sumto", 5) == 15
+        assert engine.tier_promotions == 1
+
+    def test_invalidate_emits_demote_event_only_when_promoted(self):
+        tel = Telemetry()
+        engine, module = _tiered(telemetry=tel, call_threshold=3)
+        func = module.get_function("sumto")
+        engine.run("sumto", 5)
+        engine.invalidate(func)  # not promoted yet: no demote event
+        assert tel.metrics.counter(events.TIER_DEMOTE) == 0
+        for _ in range(3):
+            engine.run("sumto", 5)
+        assert engine.tier_promotions == 1
+        engine.invalidate(func)
+        assert tel.metrics.counter(events.TIER_DEMOTE) == 1
+        assert tel.metrics.counter(events.ENGINE_INVALIDATE) == 2
+
+
+class TestStatsSurface:
+    def test_tier_stats_is_deprecated_but_compatible(self):
+        engine, _ = _tiered(call_threshold=2)
+        for _ in range(3):
+            engine.run("sumto", 5)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            stats = engine.tier_stats()
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert stats["tier_promotions"] == 1
+        assert stats["compile_count"] == engine.compile_count
+        assert stats["profiles"]["sumto"]["promoted"]
+
+    def test_stats_snapshot_shape(self):
+        engine, _ = _tiered(call_threshold=2)
+        for _ in range(3):
+            engine.run("sumto", 5)
+        snapshot = engine.stats_snapshot()
+        assert snapshot["counters"][events.TIER_PROMOTE] == 1
+        assert snapshot["counters"]["engine.compile"] >= 1
+        assert snapshot["profiles"]["sumto"]["promoted"]
+
+    def test_counter_setters_back_compat(self):
+        engine, _ = _tiered()
+        engine.jit_cache_hits = 7
+        assert engine.metrics.counter(events.JIT_CACHE_HIT) == 7
+        engine.compile_count = 3
+        assert engine.compile_count == 3
+
+
+class TestNoopFastPath:
+    def test_disabled_run_emits_nothing_but_still_counts(self):
+        engine, _ = _tiered(call_threshold=2)
+        assert engine.telemetry is NULL_TELEMETRY
+        for _ in range(3):
+            engine.run("sumto", 5)
+        # counters still live (cheap dict increments)...
+        assert engine.tier_promotions == 1
+        # ...and the disabled telemetry recorded nothing
+        assert NULL_TELEMETRY.enabled is False
+
+    def test_disabled_matches_enabled_but_empty_within_noise(self):
+        """Benchmark-style guard for the ~one-attribute-check claim.
+
+        Steady-state tiered execution (post-promotion) has no hook in
+        the hot loop, so a disabled-telemetry run and an enabled-but-
+        quiet run must be indistinguishable up to timer noise.  The
+        bound is deliberately loose (2x) — this catches accidentally
+        putting emission on the hot path, not micro-regressions.
+        """
+        def timed(telemetry):
+            module = parse_module(LOOP)
+            engine = ExecutionEngine(module, tier="tiered",
+                                     call_threshold=2, telemetry=telemetry)
+            for _ in range(3):
+                engine.run("sumto", 100)  # promote, then steady state
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                for _ in range(20):
+                    engine.run("sumto", 400)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        disabled = timed(None)              # NULL_TELEMETRY
+        enabled = timed(Telemetry())        # live but quiet post-promotion
+        assert disabled < enabled * 2.0 + 1e-3
+        assert enabled < disabled * 2.0 + 1e-3
+
+
+class TestTraceSmoke:
+    def test_trace_smoke_scenario(self, tmp_path):
+        """The ``make trace-smoke`` path: traced shootout run, schema-
+        valid Chrome export, and the acceptance events present."""
+        from repro.obs.smoke import REQUIRED_EVENTS, run_trace_smoke
+        from repro.shootout import SUITE, compile_benchmark
+        from repro.vm import ExecutionEngine as Engine
+
+        out = tmp_path / "trace.json"
+        result = run_trace_smoke(out=str(out))
+        assert result.problems == []
+        assert result.missing == []
+        assert result.ok
+        assert out.exists()
+        assert set(REQUIRED_EVENTS) == {
+            "tier.promote", "jit.compile", "osr.fire"
+        }
+        # the traced run computed the same checksum as an untraced one
+        benchmark = SUITE["n-body"]
+        module = compile_benchmark(benchmark, "unoptimized")
+        engine = Engine(module, tier="tiered", call_threshold=4)
+        untraced = engine.run(benchmark.entry, *benchmark.args)
+        assert result.checksum == pytest.approx(untraced)

@@ -183,7 +183,8 @@ class TestTierUp:
         engine, module = _engine(LOOP, tier="tiered", call_threshold=2)
         for _ in range(3):
             engine.run("sumto", 5)
-        stats = engine.tier_stats()
+        with pytest.deprecated_call():
+            stats = engine.tier_stats()
         assert stats["tier_promotions"] == 1
         assert "sumto" in stats["profiles"]
         assert stats["profiles"]["sumto"]["calls"] >= 2
