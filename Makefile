@@ -1,23 +1,31 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke bench-tiers trace-smoke
+# prepend src without clobbering a caller's PYTHONPATH (Make needs $$ to
+# pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
+PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
+
+.PHONY: test bench bench-smoke bench-tiers bench-spec trace-smoke
 
 test:
-	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(PP) $(PYTHON) -m pytest -x -q
 
 # single-trial, tiny workloads — seconds, suitable for CI
 bench-smoke:
-	PYTHONPATH=src $(PYTHON) -m benchmarks tiers --smoke
+	$(PP) $(PYTHON) -m benchmarks tiers --smoke
 
 # the tier comparison that backs docs/execution-tiers.md
 bench-tiers:
-	PYTHONPATH=src $(PYTHON) -m benchmarks tiers --json BENCH_tiers.json
+	$(PP) $(PYTHON) -m benchmarks tiers --json BENCH_tiers.json
+
+# speculation & deopt: speedup on monomorphic loops, deopt vs invalidation
+bench-spec:
+	$(PP) $(PYTHON) -m benchmarks spec --json BENCH_spec.json
 
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:
-	PYTHONPATH=src $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json
+	$(PP) $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json
 
 # traced shootout run: validates the event stream and the Chrome export,
 # writes the trace for loading into Perfetto / chrome://tracing
 trace-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.obs smoke --out trace-smoke.json
+	$(PP) $(PYTHON) -m repro.obs smoke --out trace-smoke.json

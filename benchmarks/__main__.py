@@ -8,8 +8,10 @@
 
 Targets: ``tiers`` (the tiered-execution comparison from
 ``bench_tiers.py``, the default), ``cache`` (cold vs. warm JIT
-materialization — implied by ``tiers``) and ``q1``–``q4`` (the paper's
-evaluation drivers from :mod:`repro.experiments`).
+materialization — implied by ``tiers``), ``spec`` (guarded
+speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
+``q1``–``q4`` (the paper's evaluation drivers from
+:mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
 ``env`` block recording the interpreter version and trial count, so runs
@@ -32,9 +34,15 @@ from repro.experiments import (
 )
 from repro.obs import MetricsRegistry, Telemetry, ambient, set_ambient
 
+from .bench_spec_deopt import (
+    format_deopt_cost,
+    format_spec,
+    run_deopt_cost,
+    run_spec,
+)
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
-TARGETS = ("tiers", "cache", "q1", "q2", "q3", "q4")
+TARGETS = ("tiers", "cache", "spec", "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -107,6 +115,14 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             print(banner)
             rows = run_cache(trials=args.trials, smoke=args.smoke)
             print(format_cache(rows))
+        elif target == "spec":
+            print("Speculation — guarded fast paths and deopt cost")
+            print(banner)
+            spec_rows = run_spec(trials=args.trials, smoke=args.smoke)
+            print(format_spec(spec_rows))
+            cost_rows = run_deopt_cost(trials=args.trials, smoke=args.smoke)
+            print(format_deopt_cost(cost_rows))
+            rows = list(spec_rows) + list(cost_rows)
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)

@@ -1,0 +1,239 @@
+"""Speculation & deopt benchmarks.
+
+Two questions, mirroring the Deoptless evaluation at mini scale:
+
+* **Speedup** — what does a guarded, profile-driven specialization buy
+  on a branchy loop whose discriminating argument is monomorphic at run
+  time?  The speculative tier folds the discriminator to a constant and
+  the branch chain melts away; the guards keep it honest.
+* **Deopt cost** — how does one OSR-exit through a cached continuation
+  compare to the blunt alternative, ``engine.invalidate`` plus a full
+  recompile?  The whole point of the subsystem is that a deopt is a
+  cache lookup and a call, orders of magnitude below a recompilation.
+
+Runs through ``python -m benchmarks spec --json BENCH_spec.json`` or
+``make bench-spec``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional
+
+from repro.ir import parse_module
+from repro.vm import ExecutionEngine
+
+#: a loop whose body branches on ``%mode`` six ways per iteration; under
+#: speculation on a monomorphic ``%mode`` the whole chain folds to the
+#: single surviving arm
+BRANCHY = """
+define i64 @branchy(i64 %mode, i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %latch ]
+  %acc = phi i64 [ 0, %entry ], [ %acc.next, %latch ]
+  %is1 = icmp eq i64 %mode, 1
+  br i1 %is1, label %m1, label %t2
+t2:
+  %is2 = icmp eq i64 %mode, 2
+  br i1 %is2, label %m2, label %t3
+t3:
+  %is3 = icmp eq i64 %mode, 3
+  br i1 %is3, label %m3, label %t4
+t4:
+  %is4 = icmp eq i64 %mode, 4
+  br i1 %is4, label %m4, label %t5
+t5:
+  %is5 = icmp eq i64 %mode, 5
+  br i1 %is5, label %m5, label %m6
+m1:
+  %v1 = add i64 %acc, %i
+  br label %latch
+m2:
+  %p2 = mul i64 %i, 2
+  %v2 = add i64 %acc, %p2
+  br label %latch
+m3:
+  %p3 = mul i64 %i, %i
+  %v3 = add i64 %acc, %p3
+  br label %latch
+m4:
+  %p4 = sub i64 %acc, %i
+  %v4 = add i64 %p4, 7
+  br label %latch
+m5:
+  %p5 = xor i64 %acc, %i
+  %v5 = add i64 %p5, 1
+  br label %latch
+m6:
+  %p6 = mul i64 %i, %mode
+  %v6 = add i64 %acc, %p6
+  br label %latch
+latch:
+  %acc.next = phi i64 [ %v1, %m1 ], [ %v2, %m2 ], [ %v3, %m3 ], [ %v4, %m4 ], [ %v5, %m5 ], [ %v6, %m6 ]
+  %i.next = add i64 %i, 1
+  %done = icmp sge i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}
+"""
+
+
+class SpecRow(NamedTuple):
+    workload: str
+    jit_s: float              #: steady-state JIT, no speculation
+    speculative_s: float      #: steady-state guarded specialization
+    speedup: float            #: jit_s / speculative_s
+    deopts: int               #: deopt exits taken during the timed runs
+    checksum: object
+
+
+class DeoptCostRow(NamedTuple):
+    workload: str
+    warm_deopt_s: float           #: one OSR-exit, continuation cached
+    invalidate_recompile_s: float  #: engine.invalidate + full recompile
+    ratio: float                  #: invalidate_recompile_s / warm_deopt_s
+
+
+def _module():
+    return parse_module(BRANCHY)
+
+
+def _best(samples: List[float]) -> float:
+    return min(samples)
+
+
+def _time_steady(engine, entry: str, args, trials: int) -> (float, object):
+    best: Optional[float] = None
+    checksum = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        checksum = engine.run(entry, *args)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, checksum
+
+
+def run_spec(trials: int = 3, smoke: bool = False) -> List[SpecRow]:
+    """Steady-state branchy loop: plain JIT vs. guarded specialization."""
+    if smoke:
+        trials = 1
+    n = 2_000 if smoke else 200_000
+    rows: List[SpecRow] = []
+    # mode 1 is the baseline's best case (first arm of the chain); mode 6
+    # its worst (all five compares fail every iteration) — speculation
+    # collapses either to the surviving arm plus one guard
+    for label, mode in (("branchy-mode1", 1), ("branchy-mode3", 3),
+                        ("branchy-mode6", 6)):
+        jit_module = _module()
+        jit = ExecutionEngine(jit_module, tier="jit")
+        jit.run("branchy", mode, n)  # warm-up (compile)
+        jit_s, checksum = _time_steady(jit, "branchy", (mode, n), trials)
+
+        spec_module = _module()
+        spec = ExecutionEngine(spec_module, tier="speculative",
+                               call_threshold=2)
+        for _ in range(8):  # warm-up: promote, record feedback, specialize
+            spec.run("branchy", mode, n // 10 or 1)
+        func = spec_module.get_function("branchy")
+        assert spec.spec_manager.state_for(func).active_version is not None
+        spec_s, spec_sum = _time_steady(spec, "branchy", (mode, n), trials)
+        assert spec_sum == checksum, (label, spec_sum, checksum)
+
+        rows.append(SpecRow(
+            workload=label,
+            jit_s=jit_s,
+            speculative_s=spec_s,
+            speedup=jit_s / spec_s if spec_s else 0.0,
+            deopts=spec.deopt_manager.deopt_count,
+            checksum=checksum,
+        ))
+    return rows
+
+
+def run_deopt_cost(trials: int = 3, smoke: bool = False
+                   ) -> List[DeoptCostRow]:
+    """One warm deopt vs. invalidate-and-recompile, same function.
+
+    The deopt is measured at the narrowest point: ``deopt_exit`` with a
+    captured frame one iteration from the loop exit, so the timing is
+    the exit machinery itself (guard lookup, policy, cached continuation
+    call) and not the resumed loop.  The alternative is what the engine
+    did before this subsystem existed: throw the compiled function away
+    and compile it again.
+    """
+    if smoke:
+        trials = 1
+    reps = 20 if smoke else 200
+    module = _module()
+    engine = ExecutionEngine(module, tier="speculative", call_threshold=2)
+    for _ in range(8):
+        engine.run("branchy", 1, 100)
+    func = module.get_function("branchy")
+    version = engine.spec_manager.state_for(func).active_version
+    assert version is not None
+    loop_gid = [g for g, fs in version.guards.items()
+                if fs.landing.name != "entry"][0]
+    n = 100
+    # captured live state one iteration before the exit: [mode, n, i, acc,
+    # speculated-arg-last]
+    lives = [1, n, n - 1, sum(range(n - 1)), 1]
+    engine.deopt_exit(loop_gid, lives)  # build + cache the continuation
+
+    deopt_best: Optional[float] = None
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(reps):
+            engine.deopt_exit(loop_gid, lives)
+        elapsed = (time.perf_counter() - start) / reps
+        if deopt_best is None or elapsed < deopt_best:
+            deopt_best = elapsed
+
+    recompile_best: Optional[float] = None
+    plain_module = _module()
+    plain = ExecutionEngine(plain_module, tier="jit")
+    plain_func = plain_module.get_function("branchy")
+    plain.run("branchy", 1, 10)
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(max(reps // 10, 1)):
+            plain.invalidate(plain_func)
+            plain.get_compiled(plain_func)
+        elapsed = (time.perf_counter() - start) / max(reps // 10, 1)
+        if recompile_best is None or elapsed < recompile_best:
+            recompile_best = elapsed
+
+    return [DeoptCostRow(
+        workload="branchy-midloop",
+        warm_deopt_s=deopt_best,
+        invalidate_recompile_s=recompile_best,
+        ratio=recompile_best / deopt_best if deopt_best else 0.0,
+    )]
+
+
+def format_spec(rows: List[SpecRow]) -> str:
+    header = (f"{'workload':<18} {'jit (s)':>10} {'speculative':>12} "
+              f"{'speedup':>8} {'deopts':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<18} {row.jit_s:>10.4f} "
+            f"{row.speculative_s:>12.4f} {row.speedup:>7.2f}x "
+            f"{row.deopts:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def format_deopt_cost(rows: List[DeoptCostRow]) -> str:
+    header = (f"{'workload':<18} {'warm deopt (s)':>15} "
+              f"{'invalidate+recompile':>21} {'ratio':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<18} {row.warm_deopt_s:>15.6f} "
+            f"{row.invalidate_recompile_s:>21.6f} {row.ratio:>8.1f}x"
+        )
+    return "\n".join(lines)

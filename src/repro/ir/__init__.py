@@ -19,6 +19,7 @@ from .instructions import (
     CondBranchInst,
     FCmpInst,
     GEPInst,
+    GuardInst,
     ICmpInst,
     IndirectCallInst,
     Instruction,
@@ -66,6 +67,7 @@ __all__ = [
     "CondBranchInst",
     "FCmpInst",
     "GEPInst",
+    "GuardInst",
     "ICmpInst",
     "IndirectCallInst",
     "LoadInst",

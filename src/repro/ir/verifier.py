@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from .function import BasicBlock, Function, Module
-from .instructions import Instruction, PhiInst, RetInst, TerminatorInst
+from .instructions import GuardInst, Instruction, PhiInst, RetInst, TerminatorInst
+from .types import i1
 from .values import Argument, Constant, Value
 
 
@@ -125,6 +126,20 @@ def collect_problems(func: Function) -> List[str]:
                     problems.append(
                         f"phi %{phi.name} in %{block.name} has incoming from "
                         f"non-predecessor %{b.name}"
+                    )
+
+    # -- speculation guards ---------------------------------------------------
+    for block in blocks:
+        for inst in block.instructions:
+            if isinstance(inst, GuardInst):
+                if inst.condition.type != i1:
+                    problems.append(
+                        f"guard {inst.guard_id!r} in %{block.name} has "
+                        f"non-i1 condition of type {inst.condition.type}"
+                    )
+                if not inst.guard_id:
+                    problems.append(
+                        f"guard in %{block.name} has an empty guard id"
                     )
 
     # -- return types --------------------------------------------------------------

@@ -283,7 +283,7 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
             if traced:
                 tel.event(EV.FEVAL_GUARD_FAIL, function=env.function.name,
                           reason=f"non-handle val {type(val).__name__}")
-            raise OSRError(f"feval OSR fired with non-handle val {val!r}")
+            return _guard_fail_deopt(tel if traced else None)
         target_name = val.name
         cache_key = (env.function.name, env.loop_id, target_name,
                      env.info.arg_classes)
@@ -337,6 +337,41 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
         # 4c: code caching
         vm.code_cache[cache_key] = continuation
         return continuation
+
+    def _guard_fail_deopt(tel):
+        """The guard_fail path: instead of unwinding to the interpreter
+        tier, OSR-exit through the deopt manager into a continuation of
+        the *unspecialized* version — execution resumes mid-loop with
+        feval going through the generic boxed dispatcher, keeping all
+        loop progress made so far."""
+        engine = vm.engine
+        engine._init_speculation()
+        vm.stats["feval_deopts"] += 1
+        guard_key = f"feval:{env.function.name}#loop{env.loop_id}"
+        key = (guard_key, env.function.name, env.info.arg_classes)
+
+        def build():
+            variant = vm.compile_iir_raw(
+                env.function, env.info,
+                ir_name=vm.module.unique_name(f"{env.function.name}_deopt"),
+                forced_return_class=_return_abi(env),
+            )
+            landing = variant.loop_headers[env.loop_id]
+            mapping = _build_state_mapping(vm, env, variant, landing)
+            continuation = generate_continuation(
+                variant.ir_function, landing,
+                _live_value_specs(env), mapping,
+                name=f"{variant.ir_function.name}_cont",
+                module=vm.module, telemetry=tel,
+            )
+            promote_memory_to_registers(continuation)
+            optimize_function(continuation, "optimized")
+            engine.invalidate(continuation)
+            return continuation
+
+        return engine.deopt_manager.external_exit(
+            key, build, guard=guard_key, function=env.function.name,
+        )
 
     return optimizer
 

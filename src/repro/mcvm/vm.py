@@ -73,6 +73,7 @@ class McVM:
             "feval_dispatches": 0,
             "feval_optimizations": 0,
             "feval_cache_hits": 0,
+            "feval_deopts": 0,
             "osr_points": 0,
         }
 

@@ -25,6 +25,14 @@ name                      kind   emitted when
 ``feval.specialize``      span   the feval optimizer specializes + recompiles
 ``feval.cache_hit``       event  a fired feval OSR reused a cached continuation
 ``feval.guard_fail``      event  a feval guard/handle check failed at run time
+``spec.specialize``       span   the speculation pass clones + specializes a function
+``spec.dispatch``         event  a guard failure dispatched to a sibling continuation
+``spec.respecialize``     event  a new stable profile produced another specialization
+``spec.pinned``           event  the thrash limit pinned a function to baseline
+``deopt.guard_fail``      event  a speculation guard failed at run time
+``deopt.exit``            event  an OSR-exit resumed baseline state mid-flight
+``deopt.invalidate``      event  an invalidation cascaded to a dependent version
+``deopt.continuation``    span   deopt compensation/continuation code is generated
 ========================  =====  ==================================================
 
 *event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
@@ -52,6 +60,14 @@ OSR_FIRE = "osr.fire"
 FEVAL_SPECIALIZE = "feval.specialize"
 FEVAL_CACHE_HIT = "feval.cache_hit"
 FEVAL_GUARD_FAIL = "feval.guard_fail"
+SPEC_SPECIALIZE = "spec.specialize"
+SPEC_DISPATCH = "spec.dispatch"
+SPEC_RESPECIALIZE = "spec.respecialize"
+SPEC_PINNED = "spec.pinned"
+DEOPT_GUARD_FAIL = "deopt.guard_fail"
+DEOPT_EXIT = "deopt.exit"
+DEOPT_INVALIDATE = "deopt.invalidate"
+DEOPT_CONTINUATION = "deopt.continuation"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -67,6 +83,12 @@ INSTANT_NAMES = frozenset({
     OSR_FIRE,
     FEVAL_CACHE_HIT,
     FEVAL_GUARD_FAIL,
+    SPEC_DISPATCH,
+    SPEC_RESPECIALIZE,
+    SPEC_PINNED,
+    DEOPT_GUARD_FAIL,
+    DEOPT_EXIT,
+    DEOPT_INVALIDATE,
 })
 
 #: names emitted as begin/end span pairs
@@ -76,6 +98,8 @@ SPAN_NAMES = frozenset({
     OSR_OPEN_STUB,
     OSR_CONTINUATION,
     FEVAL_SPECIALIZE,
+    SPEC_SPECIALIZE,
+    DEOPT_CONTINUATION,
 })
 
 #: the complete, closed vocabulary

@@ -1,0 +1,59 @@
+"""Per-guard frame state: how to rebuild baseline live state on deopt.
+
+Each ``guard`` inserted by the speculation pass owns a :class:`FrameState`
+record describing the OSR-*exit* side of the guard: which baseline
+function to resume, at which block, and which baseline values the guard's
+captured live operands correspond to (positionally).  On guard failure
+the deopt manager feeds these into the paper's continuation machinery —
+the guard's runtime live values become the continuation's parameters and
+a :class:`~repro.core.statemap.StateMapping` (identity for the baseline,
+derived via :mod:`repro.core.autostate` for sibling specializations)
+drives the compensation code in ``osr.entry``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.statemap import StateMapping
+from ..ir.function import BasicBlock, Function
+from ..ir.values import Value
+
+
+class FrameState:
+    """Deopt metadata for one guard.
+
+    ``live_values`` are *baseline* values in the guard's capture order:
+    the deterministic liveness order of ``landing`` followed by the
+    speculated argument (always captured last, so the deopt manager can
+    read the observed value that failed the guard without re-entering
+    the speculative frame).
+    """
+
+    __slots__ = ("guard_id", "baseline", "landing", "live_values",
+                 "arg_index")
+
+    def __init__(self, guard_id: str, baseline: Function,
+                 landing: BasicBlock, live_values: List[Value],
+                 arg_index: int):
+        self.guard_id = guard_id
+        self.baseline = baseline
+        self.landing = landing
+        self.live_values = list(live_values)
+        #: which baseline argument the owning version speculates on
+        self.arg_index = arg_index
+
+    def baseline_mapping(self) -> StateMapping:
+        """Identity mapping: live value ``i`` arrives as parameter ``i``.
+
+        Valid because the captured operands are the 1:1 clones of the
+        baseline live set — resuming the baseline needs no compensation
+        beyond the parameter transfer itself.
+        """
+        return StateMapping.identity(self.live_values)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FrameState {self.guard_id!r} -> @{self.baseline.name}"
+            f":%{self.landing.name} lives={len(self.live_values)}>"
+        )

@@ -1,0 +1,225 @@
+"""The speculation manager: policy above the deopt machinery.
+
+Owns the per-baseline speculation state for one engine: which specialized
+versions exist, which one is *active* (dispatched to at call boundaries),
+how many respecializations have been spent, and whether the function has
+been pinned to baseline by the thrash limit.
+
+Policy, per the Deoptless playbook:
+
+* after tier-up, a function whose argument feedback is monomorphic gets
+  a guarded specialization (``spec.specialize``);
+* a guard failure whose observed value matches a *sibling* version
+  dispatches there (``spec.dispatch``), and a persistent streak of such
+  failures re-points the call boundary at that sibling;
+* a streak of failures with a *new* stable value earns a fresh
+  specialization (``spec.respecialize``) — until the thrash limit, after
+  which the function is pinned to baseline (``spec.pinned``) and
+  speculation stops burning compile time on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..ir.function import Function
+from ..obs import events as EV
+from ..vm.jit import compile_function
+from .deopt import DeoptManager
+from .speculate import SpeculationError, SpecializedVersion, specialize_function
+
+#: consecutive same-value failures before the dispatcher re-points or a
+#: new specialization is built
+DEFAULT_STREAK_THRESHOLD = 2
+
+#: respecializations of one baseline before it is pinned to baseline
+DEFAULT_THRASH_LIMIT = 3
+
+
+class SpecState:
+    """Speculation bookkeeping for one baseline function."""
+
+    __slots__ = ("baseline", "versions", "active", "active_version",
+                 "pinned", "respec_count", "last_observed", "streak")
+
+    def __init__(self, baseline: Function):
+        self.baseline = baseline
+        #: (arg_index, value) -> version
+        self.versions: Dict[Tuple[int, object], SpecializedVersion] = {}
+        #: compiled callable of the active version (the call-boundary
+        #: fast path), or None while running baseline
+        self.active: Optional[Callable] = None
+        self.active_version: Optional[SpecializedVersion] = None
+        self.pinned = False
+        self.respec_count = 0
+        self.last_observed: Optional[Tuple[int, object]] = None
+        self.streak = 0
+
+
+class SpeculationManager:
+    """Creates, dispatches among, and retires specialized versions."""
+
+    def __init__(self, engine, deopt: DeoptManager,
+                 thrash_limit: int = DEFAULT_THRASH_LIMIT,
+                 streak_threshold: int = DEFAULT_STREAK_THRESHOLD,
+                 min_samples: int = 4, min_ratio: float = 0.95):
+        self.engine = engine
+        self.deopt = deopt
+        deopt.spec_manager = self
+        self.thrash_limit = thrash_limit
+        self.streak_threshold = streak_threshold
+        self.min_samples = min_samples
+        self.min_ratio = min_ratio
+        self._states: Dict[str, SpecState] = {}
+
+    def state_for(self, func: Function) -> SpecState:
+        state = self._states.get(func.name)
+        if state is None:
+            state = SpecState(func)
+            self._states[func.name] = state
+        return state
+
+    # -- creating versions -----------------------------------------------------
+
+    def maybe_specialize(self, func: Function, profile) -> Optional[
+            SpecializedVersion]:
+        """Specialize ``func`` if its argument feedback is monomorphic.
+
+        Called by the speculative dispatcher once the function is
+        promoted; a no-op while pinned, already speculating, or while
+        the feedback is still polymorphic."""
+        state = self.state_for(func)
+        if state.pinned or state.active is not None:
+            return None
+        stable = profile.stable_argument(self.min_samples, self.min_ratio)
+        if stable is None:
+            return None
+        arg_index, value = stable
+        key = (arg_index, value)
+        version = state.versions.get(key)
+        if version is None:
+            version = self._build_version(state, arg_index, value)
+            if version is None:
+                return None
+        self._activate(state, version)
+        return version
+
+    def _build_version(self, state: SpecState, arg_index: int, value
+                       ) -> Optional[SpecializedVersion]:
+        engine = self.engine
+        try:
+            version = specialize_function(
+                state.baseline, arg_index, value,
+                module=engine.module, telemetry=engine.telemetry,
+            )
+        except SpeculationError:
+            return None
+        state.versions[(arg_index, value)] = version
+        self.deopt.register_version(version)
+        # rewriting the baseline must cascade to every version guarding it
+        engine.add_invalidation_dependency(state.baseline, version.function)
+        return version
+
+    def _activate(self, state: SpecState, version: SpecializedVersion) -> None:
+        state.active_version = version
+        state.active = compile_function(version.function, self.engine)
+
+    def refresh_active(self, version: SpecializedVersion) -> None:
+        """Re-materialize the active callable after the version's body
+        changed (e.g. a guard was armed for forced failure)."""
+        state = self._states.get(version.baseline.name)
+        if state is not None and state.active_version is version:
+            state.active = compile_function(version.function, self.engine)
+
+    # -- failure policy ---------------------------------------------------------
+
+    def note_guard_failure(self, owner: SpecializedVersion, guard_id: str,
+                           observed) -> Optional[SpecializedVersion]:
+        """Record a guard failure; returns a sibling version to dispatch
+        the exit into, or None to resume the baseline."""
+        state = self._states.get(owner.baseline.name)
+        if state is None or state.pinned:
+            return None
+        if type(observed) not in (int, float):
+            return None
+        key = (owner.arg_index, observed)
+        if state.last_observed == key:
+            state.streak += 1
+        else:
+            state.last_observed = key
+            state.streak = 1
+
+        sibling = state.versions.get(key)
+        if sibling is not None and sibling is not owner:
+            # known profile: dispatch there; a persistent streak also
+            # re-points the call boundary
+            if (state.streak >= self.streak_threshold
+                    and state.active_version is not sibling):
+                self._activate(state, sibling)
+            return sibling
+
+        if sibling is None and state.streak >= self.streak_threshold:
+            # new stable profile: earn another specialized continuation —
+            # unless the thrash limit says this function churns profiles
+            # faster than speculation pays off
+            tel = self.engine.telemetry
+            if state.respec_count >= self.thrash_limit:
+                self._pin(state)
+                return None
+            state.respec_count += 1
+            if tel.enabled:
+                tel.event(EV.SPEC_RESPECIALIZE,
+                          function=state.baseline.name,
+                          arg_index=owner.arg_index,
+                          observed=repr(observed),
+                          respec_count=state.respec_count)
+            else:
+                self.engine.metrics.inc(EV.SPEC_RESPECIALIZE)
+            version = self._build_version(state, owner.arg_index, observed)
+            if version is not None:
+                self._activate(state, version)
+                state.streak = 0
+                return version
+        return None
+
+    def _pin(self, state: SpecState) -> None:
+        state.pinned = True
+        state.active = None
+        state.active_version = None
+        tel = self.engine.telemetry
+        if tel.enabled:
+            tel.event(EV.SPEC_PINNED, function=state.baseline.name,
+                      respec_count=state.respec_count)
+        else:
+            self.engine.metrics.inc(EV.SPEC_PINNED)
+
+    # -- invalidation -----------------------------------------------------------
+
+    def on_invalidate(self, func: Function) -> None:
+        """The baseline's body was rewritten: every version speculated
+        from it is stale.  Drop them (frames, continuations, active
+        pointer); feedback restarts from scratch."""
+        state = self._states.get(func.name)
+        if state is None:
+            return
+        for version in state.versions.values():
+            self.deopt.forget_version(version)
+            self.deopt.invalidate_function(version.function)
+        self.deopt.invalidate_function(func)
+        state.versions.clear()
+        state.active = None
+        state.active_version = None
+        state.last_observed = None
+        state.streak = 0
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        return {
+            name: {
+                "versions": len(state.versions),
+                "active": (state.active_version.function.name
+                           if state.active_version is not None else None),
+                "pinned": state.pinned,
+                "respec_count": state.respec_count,
+            }
+            for name, state in self._states.items()
+        }

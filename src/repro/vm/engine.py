@@ -58,7 +58,7 @@ from .runtime import (
 )
 
 #: valid values for the engine-wide and per-function tier setting
-TIERS = ("jit", "interp", "decoded", "tiered")
+TIERS = ("jit", "interp", "decoded", "tiered", "speculative")
 
 
 class ObjectTable:
@@ -147,6 +147,15 @@ class ExecutionEngine:
                         else MetricsRegistry())
         #: tier-up machinery
         self.profiler = TierProfiler(call_threshold, backedge_threshold)
+        #: speculation & deopt machinery, created lazily by
+        #: :meth:`_init_speculation` (the first speculative dispatcher or
+        #: an explicit call); None while the engine never speculates
+        self.spec_manager = None
+        self.deopt_manager = None
+        #: invalidation-dependency edges: rewriting ``source`` must also
+        #: invalidate every ``dependent`` compiled against it (function
+        #: name -> dependent Functions), e.g. guarded specializations
+        self._invalidation_deps: Dict[str, List[Function]] = {}
         self._install_default_natives()
 
     # -- counter back-compat (now backed by the metrics registry) ---------------
@@ -316,6 +325,8 @@ class ExecutionEngine:
             compiled = self._make_interp_thunk(func)
         elif tier == "decoded":
             compiled = self._make_decoded_thunk(func)
+        elif tier == "speculative":
+            compiled = self._make_speculative_dispatcher(func)
         else:  # tiered
             compiled = self._make_tiered_dispatcher(func)
         tel = self.telemetry
@@ -433,6 +444,107 @@ class ExecutionEngine:
         dispatch.__name__ = f"tiered_{func.name}"
         return dispatch
 
+    # -- speculation --------------------------------------------------------------
+
+    def _init_speculation(self, **options) -> None:
+        """Create the speculation/deopt managers (idempotent).
+
+        Imported lazily so engines that never speculate pay nothing and
+        the vm package keeps no import-time dependency on repro.spec.
+        """
+        if self.spec_manager is not None:
+            return
+        from ..spec import DeoptManager, SpeculationManager
+
+        self.deopt_manager = DeoptManager(self, telemetry=self.telemetry)
+        self.spec_manager = SpeculationManager(
+            self, self.deopt_manager, **options
+        )
+
+    def deopt_exit(self, guard_id: str, lives: List[Any]):
+        """Guard-failure entry point called from lowered/interpreted
+        guards; hands the captured live state to the deopt manager."""
+        if self.deopt_manager is None:
+            raise Trap(
+                f"guard {guard_id!r} failed but no deopt manager is attached"
+            )
+        return self.deopt_manager.entry(guard_id, lives)
+
+    def guard_force_check(self, guard_id: str) -> bool:
+        """Hit-count predicate consulted by *armed* guards only."""
+        if self.deopt_manager is None:
+            return False
+        return self.deopt_manager.should_force(guard_id)
+
+    def add_invalidation_dependency(self, source: Function,
+                                    dependent: Function) -> None:
+        """Record that invalidating ``source`` must cascade to
+        ``dependent`` (a compiled version speculating on ``source``)."""
+        deps = self._invalidation_deps.setdefault(source.name, [])
+        if dependent not in deps:
+            deps.append(dependent)
+
+    def _make_speculative_dispatcher(self, func: Function) -> Callable:
+        """The ``speculative`` tier: the tiered dispatcher plus argument
+        value feedback and guarded specialization above the JIT.
+
+        Cold: decoded interpreter with counters.  Warm: JIT, recording
+        per-slot argument values.  Hot + monomorphic: calls route to the
+        guarded specialization; its guards deopt back through the
+        continuation machinery when the assumption breaks.
+        """
+        self._init_speculation()
+        engine = self
+        profiler = self.profiler
+        spec = self.spec_manager
+        profile = profiler.profile_for(func.name)
+        state = spec.state_for(func)
+        baseline = self._make_decoded_thunk(func, profile=profile)
+        promoted_box: List[Optional[Callable]] = [None]
+
+        def dispatch(*args):
+            active = state.active
+            if active is not None:
+                return active(*args)
+            promoted = promoted_box[0]
+            if promoted is not None:
+                profile.record_args(args)
+                spec.maybe_specialize(func, profile)
+                active = state.active
+                if active is not None:
+                    return active(*args)
+                return promoted(*args)
+            profile.calls += 1
+            profile.record_args(args)
+            if profiler.should_promote(profile):
+                tel = engine.telemetry
+                if tel.enabled:
+                    call_hot = profile.calls >= profiler.call_threshold
+                    tel.event(
+                        EV.PROFILE_CALL_HOT if call_hot
+                        else EV.PROFILE_BACKEDGE_HOT,
+                        function=func.name, calls=profile.calls,
+                        backedges=profile.backedges,
+                    )
+                promoted = compile_function(func, engine)
+                promoted_box[0] = promoted
+                profile.promoted_version = func.code_version
+                if tel.enabled:
+                    tel.event(EV.TIER_PROMOTE, function=func.name,
+                              code_version=func.code_version,
+                              calls=profile.calls,
+                              backedges=profile.backedges)
+                else:
+                    engine.metrics.inc(EV.TIER_PROMOTE)
+                handle = engine._handles.get(func.name)
+                if handle is not None:
+                    handle.invalidate()
+                return promoted(*args)
+            return baseline(*args)
+
+        dispatch.__name__ = f"speculative_{func.name}"
+        return dispatch
+
     def set_tier(self, func: Function, tier: str) -> None:
         """Pin one function to a tier (mixed-mode execution).
 
@@ -473,6 +585,18 @@ class ExecutionEngine:
         if handle is not None:
             handle.function = func
             handle.invalidate()
+        # cascade to dependent compiled versions (guarded specializations)
+        dependents = self._invalidation_deps.pop(func.name, None)
+        if dependents:
+            for dependent in dependents:
+                if tel.enabled:
+                    tel.event(EV.DEOPT_INVALIDATE, function=func.name,
+                              dependent=dependent.name)
+                else:
+                    self.metrics.inc(EV.DEOPT_INVALIDATE)
+                self.invalidate(dependent)
+        if self.spec_manager is not None:
+            self.spec_manager.on_invalidate(func)
 
     def lazy_trampoline(self, func: Function, namespace: Dict[str, Any],
                         slot: str) -> Callable:
@@ -519,6 +643,8 @@ class ExecutionEngine:
         """
         snapshot = self.metrics.snapshot()
         snapshot["profiles"] = self.profiler.snapshot()
+        if self.spec_manager is not None:
+            snapshot["speculation"] = self.spec_manager.stats()
         return snapshot
 
     def tier_stats(self) -> Dict[str, Any]:

@@ -53,6 +53,7 @@ from ..ir.instructions import (
     CondBranchInst,
     FCmpInst,
     GEPInst,
+    GuardInst,
     ICmpInst,
     IndirectCallInst,
     Instruction,
@@ -225,6 +226,10 @@ class CompiledCode:
                 namespace[name] = engine.lazy_trampoline(
                     descriptor[1], namespace, name
                 )
+            elif kind == "deopt":
+                namespace[name] = engine.deopt_exit
+            elif kind == "deoptforce":
+                namespace[name] = engine.guard_force_check
             else:  # pragma: no cover
                 raise JITError(f"unknown binding kind {kind!r}")
         exec(self.code, namespace)
@@ -517,6 +522,22 @@ class FunctionCompiler:
 
         if isinstance(inst, SwitchInst):
             return self._compile_switch(inst)
+
+        if isinstance(inst, GuardInst):
+            # Guard fast path is a single branch; the deopt handler is only
+            # bound (and the force predicate only consulted) when needed.
+            self.bindings.setdefault("_deopt", ("deopt",))
+            lives = ", ".join(e(v) for v in inst.live_values)
+            cond = e(inst.condition)
+            if inst.forced:
+                self.bindings.setdefault("_gforce", ("deoptforce",))
+                test = f"(not {cond}) or _gforce({inst.guard_id!r})"
+            else:
+                test = f"not {cond}"
+            return [
+                f"if {test}:",
+                f"    return _deopt({inst.guard_id!r}, [{lives}])",
+            ]
 
         if isinstance(inst, UnreachableInst):
             return ["raise _Trap('reached unreachable')"]

@@ -13,7 +13,7 @@ function is promoted when either counter crosses its threshold.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: invocations before a function is considered call-hot
 DEFAULT_CALL_THRESHOLD = 8
@@ -23,10 +23,42 @@ DEFAULT_CALL_THRESHOLD = 8
 DEFAULT_BACKEDGE_THRESHOLD = 256
 
 
+class ValueFeedback:
+    """Observed-value histogram for one argument slot.
+
+    Records scalar (int/float) runtime values and answers "is this slot
+    monomorphic enough to speculate on?" — the type/value feedback that
+    drives the speculation pass.  Non-scalar values (pointers, handles)
+    are counted toward the total but never dominate, so speculation only
+    ever folds immediates.
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts: Dict[object, int] = {}
+        self.total = 0
+
+    def record(self, value: object) -> None:
+        self.total += 1
+        if type(value) in (int, float):
+            self.counts[value] = self.counts.get(value, 0) + 1
+
+    def dominant(self) -> Optional[Tuple[object, int]]:
+        """The most frequent scalar value and its count, or None."""
+        if not self.counts:
+            return None
+        value = max(self.counts, key=lambda v: self.counts[v])
+        return value, self.counts[value]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ValueFeedback total={self.total} {self.counts!r}>"
+
+
 class FunctionProfile:
     """Hotness counters for one function under one engine."""
 
-    __slots__ = ("name", "calls", "backedges", "promoted_version")
+    __slots__ = ("name", "calls", "backedges", "promoted_version", "feedback")
 
     def __init__(self, name: str):
         self.name = name
@@ -35,6 +67,36 @@ class FunctionProfile:
         #: code_version the function was promoted at, or None while it is
         #: still running in the decoded tier
         self.promoted_version: Optional[int] = None
+        #: per-argument-slot value feedback, filled lazily on first record
+        self.feedback: List[ValueFeedback] = []
+
+    def record_args(self, args) -> None:
+        """Feed one invocation's argument values into the histograms."""
+        feedback = self.feedback
+        while len(feedback) < len(args):
+            feedback.append(ValueFeedback())
+        for slot, value in zip(feedback, args):
+            slot.record(value)
+
+    def stable_argument(
+        self, min_samples: int = 4, min_ratio: float = 0.95
+    ) -> Optional[Tuple[int, object]]:
+        """The first argument slot whose observed values are monomorphic.
+
+        Returns ``(arg_index, value)`` when some slot saw at least
+        ``min_samples`` values of which a ``min_ratio`` fraction were one
+        scalar constant — the speculation pass's trigger condition.
+        """
+        for index, slot in enumerate(self.feedback):
+            if slot.total < min_samples:
+                continue
+            dom = slot.dominant()
+            if dom is None:
+                continue
+            value, count = dom
+            if count / slot.total >= min_ratio:
+                return index, value
+        return None
 
     @property
     def promoted(self) -> bool:
@@ -45,6 +107,7 @@ class FunctionProfile:
         self.promoted_version = None
         self.calls = 0
         self.backedges = 0
+        self.feedback = []
 
     def __repr__(self) -> str:  # pragma: no cover
         state = (

@@ -1,0 +1,142 @@
+"""Deopt transparency: speculation must be observably equivalent.
+
+For every shootout program, the speculative tier — with guard failures
+*forced* at arbitrary points via the deopt manager's arming API — must
+produce the same per-call results as the interpreter tier.  Several
+benchmarks mutate module globals across calls (fasta's RNG seed,
+rev-comp's buffers), so equivalence is over the whole call *sequence*,
+not a single call.
+
+Each deopt must resume mid-flight: the trace shows ``deopt.exit``
+without a fresh ``engine.call`` of the baseline from its entry (the
+engine's per-function call counter does not move beyond the calls the
+test itself makes).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import validate_events
+from repro.obs.telemetry import Telemetry
+from repro.shootout import SUITE, all_benchmarks, compile_benchmark
+from repro.vm import ExecutionEngine
+
+NAMES = [b.name for b in all_benchmarks()]
+
+#: calls per engine: warm-up to trigger speculation, then forced deopts
+WARM_CALLS = 8
+POST_CALLS = 2
+TOTAL_CALLS = WARM_CALLS + POST_CALLS
+
+#: the interpreter oracle is slow; the stateful string benchmarks get
+#: the biggest reduction
+_HEAVY = {"fasta": 64, "fasta-redux": 64, "rev-comp": 64}
+
+_oracle_cache = {}
+
+
+def _small_args(benchmark):
+    divisor = _HEAVY.get(benchmark.name, 8)
+    return tuple(max(a // divisor, 3) for a in benchmark.args)
+
+
+def _oracle(name):
+    """Per-call interpreter results (the stateful benchmarks differ
+    call to call, so the oracle is the whole sequence)."""
+    cached = _oracle_cache.get(name)
+    if cached is None:
+        benchmark = SUITE[name]
+        args = _small_args(benchmark)
+        engine = ExecutionEngine(compile_benchmark(benchmark, "unoptimized"),
+                                 tier="interp")
+        cached = [engine.run(benchmark.entry, *args)
+                  for _ in range(TOTAL_CALLS)]
+        _oracle_cache[name] = cached
+    return cached
+
+
+def _speculative_engine(name):
+    benchmark = SUITE[name]
+    module = compile_benchmark(benchmark, "unoptimized")
+    telemetry = Telemetry()
+    engine = ExecutionEngine(module, tier="speculative", call_threshold=2,
+                             telemetry=telemetry)
+    return engine, module.get_function(benchmark.entry), telemetry
+
+
+def _run_with_forced_deopt(name, pick_guard, at_hit):
+    """Warm a speculative engine, arm one guard, finish the sequence;
+    assert per-call equality with the interpreter and mid-flight resume."""
+    benchmark = SUITE[name]
+    args = _small_args(benchmark)
+    oracle = _oracle(name)
+    engine, func, telemetry = _speculative_engine(name)
+
+    for k in range(WARM_CALLS):
+        assert engine.run(benchmark.entry, *args) == oracle[k], (name, k)
+
+    state = engine.spec_manager.state_for(func)
+    assert state.active_version is not None, f"{name} never speculated"
+    guard_ids = sorted(state.active_version.guards)
+    guard_id = pick_guard(state.active_version, guard_ids)
+    calls_before = engine.call_counts.get(benchmark.entry, 0)
+    engine.deopt_manager.force_failure(guard_id, at_hit=at_hit)
+
+    for k in range(WARM_CALLS, TOTAL_CALLS):
+        assert engine.run(benchmark.entry, *args) == oracle[k], (name, k)
+
+    # mid-flight resume: only the test's own calls hit the entry point
+    calls_after = engine.call_counts.get(benchmark.entry, 0)
+    assert calls_after == calls_before + POST_CALLS
+    events = telemetry.events
+    assert validate_events(events) == []
+    return engine, [e["name"] for e in events]
+
+
+def _entry_guard(version, guard_ids):
+    baseline_entry = version.baseline.entry
+    for guard_id, frame in version.guards.items():
+        if frame.landing is baseline_entry:
+            return guard_id
+    return guard_ids[0]
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestForcedDeoptEquivalence:
+    def test_entry_guard_deopt(self, name):
+        """The entry guard always executes, so the deopt must fire."""
+        engine, event_names = _run_with_forced_deopt(
+            name, _entry_guard, at_hit=1
+        )
+        assert engine.deopt_manager.deopt_count >= POST_CALLS
+        assert "deopt.exit" in event_names
+
+    def test_last_guard_mid_flight(self, name):
+        """Arming the last guard (a loop header for the iterative
+        benchmarks) exercises mid-loop exits; whether it fires depends
+        on the program shape, but equivalence must hold regardless."""
+        _run_with_forced_deopt(
+            name, lambda version, ids: ids[-1], at_hit=2
+        )
+
+
+#: fast subset for the randomized search over injection points
+FAST = ["b-trees", "fannkuch", "mbrot", "sp-norm"]
+
+
+class TestRandomInjectionPoints:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        name=st.sampled_from(FAST),
+        guard_choice=st.integers(min_value=0, max_value=7),
+        at_hit=st.integers(min_value=1, max_value=4),
+    )
+    def test_equivalent_at_random_guard_and_hit(self, name, guard_choice,
+                                                at_hit):
+        _run_with_forced_deopt(
+            name,
+            lambda version, ids: ids[guard_choice % len(ids)],
+            at_hit,
+        )

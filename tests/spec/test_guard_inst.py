@@ -1,0 +1,133 @@
+"""The ``guard`` pseudo-instruction: IR plumbing round-trips.
+
+Printer/parser/verifier/cloner must all understand guards, and both
+execution tiers (interpreter and JIT) must treat a holding guard as a
+no-op and a failing guard as a deopt exit.
+"""
+
+import pytest
+
+from repro.ir import (
+    GuardInst,
+    Module,
+    parse_function,
+    print_function,
+    verify_function,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function
+from repro.ir.types import FunctionType, i1, i64
+from repro.ir.values import Argument, ConstantInt
+from repro.ir.verifier import VerificationError
+from repro.transform.clone import clone_function
+from repro.vm import ExecutionEngine, Trap
+
+GUARDED = """
+define i64 @g(i64 %x) {
+entry:
+  %c = icmp eq i64 %x, 7
+  guard i1 %c, c"g#entry" [ i64 %x ]
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+"""
+
+
+def _build_guarded(module):
+    return parse_function(GUARDED, module)
+
+
+class TestTextualRoundTrip:
+    def test_print_parse_print_fixpoint(self):
+        f = _build_guarded(Module())
+        text = print_function(f)
+        assert 'guard i1 %c, c"g#entry" [ i64 %x ]' in text
+        f2 = parse_function(text, Module())
+        assert print_function(f2) == text
+
+    def test_forced_flag_round_trips(self):
+        f = _build_guarded(Module())
+        guard = f.entry.instructions[1]
+        assert isinstance(guard, GuardInst)
+        guard.forced = True
+        text = print_function(f)
+        assert "] forced" in text
+        f2 = parse_function(text, Module())
+        assert f2.entry.instructions[1].forced is True
+
+    def test_guard_id_escaping(self):
+        m = Module()
+        fnty = FunctionType(i64, [i64])
+        f = Function(fnty, "esc")
+        m.add_function(f)
+        block = BasicBlock("entry")
+        f.add_block(block)
+        b = IRBuilder(block)
+        c = b.icmp("eq", f.args[0], ConstantInt(i64, 1), "c")
+        b.guard(c, 'we"ird\\id', [f.args[0]])
+        b.ret(f.args[0])
+        f2 = parse_function(print_function(f), Module())
+        guard = [i for i in f2.entry.instructions
+                 if isinstance(i, GuardInst)][0]
+        assert guard.guard_id == 'we"ird\\id'
+
+
+class TestStructure:
+    def test_accessors(self):
+        f = _build_guarded(Module())
+        guard = f.entry.instructions[1]
+        assert guard.condition.name == "c"
+        assert [v.name for v in guard.live_values] == ["x"]
+        assert guard.has_side_effects()
+
+    def test_verifier_accepts(self):
+        verify_function(_build_guarded(Module()))
+
+    def test_verifier_rejects_empty_guard_id(self):
+        f = _build_guarded(Module())
+        f.entry.instructions[1].guard_id = ""
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_non_i1_condition_rejected_at_construction(self):
+        f = _build_guarded(Module())
+        with pytest.raises(TypeError):
+            GuardInst(f.args[0], "gid")
+
+    def test_clone_preserves_guard(self):
+        m = Module()
+        f = _build_guarded(m)
+        clone, vmap = clone_function(f, "g2", m)
+        guard = clone.entry.instructions[1]
+        assert isinstance(guard, GuardInst)
+        assert guard.guard_id == "g#entry"
+        assert guard.condition is vmap[f.entry.instructions[0]]
+        assert guard.live_values[0] is vmap[f.args[0]]
+        verify_function(clone)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("tier", ["interp", "jit"])
+    def test_holding_guard_is_transparent(self, tier):
+        m = Module()
+        _build_guarded(m)
+        engine = ExecutionEngine(m, tier=tier)
+        assert engine.run("g", 7) == 8
+
+    @pytest.mark.parametrize("tier", ["interp", "jit"])
+    def test_failing_guard_without_manager_traps(self, tier):
+        m = Module()
+        _build_guarded(m)
+        engine = ExecutionEngine(m, tier=tier)
+        with pytest.raises(Trap):
+            engine.run("g", 8)
+
+    @pytest.mark.parametrize("tier", ["interp", "jit"])
+    def test_failing_guard_routes_to_deopt_exit(self, tier):
+        m = Module()
+        _build_guarded(m)
+        engine = ExecutionEngine(m, tier=tier)
+        seen = []
+        engine.deopt_exit = lambda gid, lives: seen.append((gid, lives)) or 99
+        assert engine.run("g", 8) == 99
+        assert seen == [("g#entry", [8])]

@@ -1,0 +1,65 @@
+"""The deprecated ``engine.tier_stats()`` shim: warning + payload parity
+with ``stats_snapshot()``."""
+
+import warnings
+
+import pytest
+
+from repro.ir import parse_module
+from repro.obs import events as EV
+from repro.vm import ExecutionEngine
+
+SRC = """
+define i64 @work(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i1, %loop ]
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %i1
+}
+"""
+
+
+def _warm_engine():
+    engine = ExecutionEngine(parse_module(SRC), tier="tiered",
+                             call_threshold=3)
+    for _ in range(10):
+        engine.run("work", 50)
+    return engine
+
+
+class TestTierStatsShim:
+    def test_emits_deprecation_warning(self):
+        engine = _warm_engine()
+        with pytest.warns(DeprecationWarning, match="stats_snapshot"):
+            engine.tier_stats()
+
+    def test_payload_matches_stats_snapshot(self):
+        engine = _warm_engine()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = engine.tier_stats()
+        snapshot = engine.stats_snapshot()
+        counters = snapshot["counters"]
+        assert legacy["compile_count"] == counters.get("engine.compile", 0)
+        assert legacy["jit_cache_hits"] == counters.get(EV.JIT_CACHE_HIT, 0)
+        assert legacy["jit_cache_misses"] == counters.get(
+            EV.JIT_CACHE_MISS, 0)
+        assert legacy["tier_promotions"] == counters.get(EV.TIER_PROMOTE, 0)
+        assert legacy["decode_fallbacks"] == counters.get(
+            EV.DECODE_BAILOUT, 0)
+        assert legacy["profiles"] == snapshot["profiles"]
+
+    def test_shim_keys_are_stable(self):
+        engine = _warm_engine()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = engine.tier_stats()
+        assert set(legacy) == {
+            "compile_count", "jit_cache_hits", "jit_cache_misses",
+            "tier_promotions", "decode_fallbacks", "profiles",
+        }
