@@ -4,7 +4,7 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test bench bench-smoke bench-tiers bench-spec trace-smoke
+.PHONY: test bench bench-smoke bench-tiers bench-spec bench-analysis trace-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -20,6 +20,10 @@ bench-tiers:
 # speculation & deopt: speedup on monomorphic loops, deopt vs invalidation
 bench-spec:
 	$(PP) $(PYTHON) -m benchmarks spec --json BENCH_spec.json
+
+# analysis caching: AnalysisManager hit rate and speedup vs recompute
+bench-analysis:
+	$(PP) $(PYTHON) -m benchmarks analysis --json BENCH_analysis.json
 
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:

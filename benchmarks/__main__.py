@@ -10,8 +10,9 @@ Targets: ``tiers`` (the tiered-execution comparison from
 ``bench_tiers.py``, the default), ``cache`` (cold vs. warm JIT
 materialization — implied by ``tiers``), ``spec`` (guarded
 speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
-``q1``–``q4`` (the paper's evaluation drivers from
-:mod:`repro.experiments`).
+``analysis`` (cached vs recompute-always analyses from
+``bench_analysis.py``) and ``q1``–``q4`` (the paper's evaluation
+drivers from :mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
 ``env`` block recording the interpreter version and trial count, so runs
@@ -34,6 +35,7 @@ from repro.experiments import (
 )
 from repro.obs import MetricsRegistry, Telemetry, ambient, set_ambient
 
+from .bench_analysis import format_analysis, run_analysis
 from .bench_spec_deopt import (
     format_deopt_cost,
     format_spec,
@@ -42,7 +44,7 @@ from .bench_spec_deopt import (
 )
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
-TARGETS = ("tiers", "cache", "spec", "q1", "q2", "q3", "q4")
+TARGETS = ("tiers", "cache", "spec", "analysis", "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -123,6 +125,11 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             cost_rows = run_deopt_cost(trials=args.trials, smoke=args.smoke)
             print(format_deopt_cost(cost_rows))
             rows = list(spec_rows) + list(cost_rows)
+        elif target == "analysis":
+            print("Analysis caching — AnalysisManager vs recompute-always")
+            print(banner)
+            rows = run_analysis(trials=args.trials, smoke=args.smoke)
+            print(format_analysis(rows))
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)

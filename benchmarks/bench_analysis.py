@@ -1,0 +1,118 @@
+"""Analysis-caching benchmarks.
+
+How much does the :class:`~repro.analysis.AnalysisManager` save when the
+same function bodies are analyzed over and over?  Two workloads, both
+run twice — once against a caching manager and once against the same
+manager with ``bypass=True`` (every query recomputes, the pre-manager
+behaviour):
+
+* **site-planning** — repeated OSR site selection on an unchanged
+  function (loop forest + liveness at the chosen site + dominator tree,
+  the queries a profiler-driven OSR planner issues every tick), followed
+  by one resolved OSR-point insertion at the winning site.  Only the
+  first round computes anything; every later round is three cache hits.
+* **respecialize** — repeated guarded specializations of one unchanged
+  baseline for a churning profile (the Deoptless respecialization
+  storm).  The baseline's liveness and loop info are computed once and
+  then shared by every subsequent clone.
+
+Runs through ``python -m benchmarks analysis --json BENCH_analysis.json``
+or ``make bench-analysis``.  The acceptance bar: each workload's cached
+run shows a >0.9 hit rate and a measurable speedup over bypass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple
+
+from repro.analysis import AnalysisManager
+from repro.core import HotCounterCondition, insert_resolved_osr_point
+from repro.experiments.sites import loop_osr_location
+from repro.ir import parse_module
+from repro.spec import specialize_function
+
+from .bench_spec_deopt import BRANCHY
+
+
+class AnalysisRow(NamedTuple):
+    workload: str
+    cycles: int
+    cached_s: float      #: best wall time with the caching manager
+    bypass_s: float      #: best wall time with bypass=True (recompute)
+    speedup: float       #: bypass_s / cached_s
+    hits: int            #: cache hits observed in the cached run
+    misses: int          #: cache misses observed in the cached run
+    hit_rate: float      #: hits / (hits + misses)
+
+
+def _run_planning(am: AnalysisManager, cycles: int) -> None:
+    module = parse_module(BRANCHY)
+    func = module.get_function("branchy")
+    location = None
+    for _ in range(cycles):
+        location = loop_osr_location(func, am=am)
+        am.liveness(func).live_before(location)
+        am.dominator_tree(func)
+    insert_resolved_osr_point(
+        func, location, HotCounterCondition(1_000_000), am=am
+    )
+
+
+def _run_respecialize(am: AnalysisManager, cycles: int) -> None:
+    module = parse_module(BRANCHY)
+    baseline = module.get_function("branchy")
+    for mode in range(1, cycles + 1):
+        specialize_function(baseline, 0, mode, module=module, am=am)
+
+
+def _measure(runner, cycles: int, trials: int, bypass: bool):
+    best = None
+    stats = None
+    for _ in range(trials):
+        am = AnalysisManager(bypass=bypass)
+        start = time.perf_counter()
+        runner(am, cycles)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        stats = am.stats()
+    return best, stats
+
+
+def run_analysis(trials: int = 3, smoke: bool = False) -> List[AnalysisRow]:
+    workloads = [
+        ("site-planning", _run_planning, 30 if smoke else 80),
+        ("respecialize", _run_respecialize, 12 if smoke else 20),
+    ]
+    trials = 1 if smoke else trials
+    rows: List[AnalysisRow] = []
+    for name, runner, cycles in workloads:
+        cached_s, stats = _measure(runner, cycles, trials, bypass=False)
+        bypass_s, _ = _measure(runner, cycles, trials, bypass=True)
+        rows.append(AnalysisRow(
+            workload=name,
+            cycles=cycles,
+            cached_s=cached_s,
+            bypass_s=bypass_s,
+            speedup=bypass_s / cached_s if cached_s else 0.0,
+            hits=stats["hits"],
+            misses=stats["misses"],
+            hit_rate=stats["hit_rate"],
+        ))
+    return rows
+
+
+def format_analysis(rows: List[AnalysisRow]) -> str:
+    lines = [
+        f"{'workload':<16} {'cycles':>6} {'cached':>10} {'bypass':>10} "
+        f"{'speedup':>8} {'hits':>6} {'miss':>5} {'hit rate':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<16} {row.cycles:>6} "
+            f"{row.cached_s * 1e3:>8.2f}ms {row.bypass_s * 1e3:>8.2f}ms "
+            f"{row.speedup:>7.2f}x {row.hits:>6} {row.misses:>5} "
+            f"{row.hit_rate:>9.3f}"
+        )
+    return "\n".join(lines)

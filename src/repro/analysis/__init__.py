@@ -18,6 +18,14 @@ from .cfg import (
 from .dominators import DominatorTree
 from .liveness import LivenessInfo, live_values_at
 from .loops import Loop, LoopInfo
+from .manager import (
+    ANALYSES,
+    AnalysisManager,
+    PreservedAnalyses,
+    analysis_stamp,
+    default_manager,
+    resolve_manager,
+)
 from .usedef import (
     instruction_users,
     is_trivially_dead,
@@ -27,6 +35,12 @@ from .usedef import (
 )
 
 __all__ = [
+    "ANALYSES",
+    "AnalysisManager",
+    "PreservedAnalyses",
+    "analysis_stamp",
+    "default_manager",
+    "resolve_manager",
     "CallGraph",
     "DominatorTree",
     "LivenessInfo",

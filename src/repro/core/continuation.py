@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cfg import reachable_blocks, remove_unreachable_blocks
-from ..analysis.liveness import LivenessInfo
+from ..analysis.manager import resolve_manager
 from ..obs import events as EV
 from ..obs.telemetry import ambient as ambient_telemetry
 from ..ir.builder import IRBuilder
@@ -47,11 +47,16 @@ class _Placeholder(Value):
     __slots__ = ()
 
 
-def required_landing_state(variant: Function, landing: BasicBlock
-                           ) -> List[Value]:
+def required_landing_state(variant: Function, landing: BasicBlock,
+                           am=None) -> List[Value]:
     """The values a state mapping must provide: every value of ``variant``
-    live at the entry of ``landing`` (including ``landing``'s phis)."""
-    return LivenessInfo(variant).live_at_block_entry(landing)
+    live at the entry of ``landing`` (including ``landing``'s phis).
+
+    The liveness result comes from ``am`` (defaulting to the process-wide
+    :class:`~repro.analysis.AnalysisManager`), so callers that enumerate
+    the landing state and then generate the continuation share one
+    computation per variant version."""
+    return resolve_manager(am).liveness(variant).live_at_block_entry(landing)
 
 
 def generate_continuation(
@@ -64,6 +69,7 @@ def generate_continuation(
     cleanup: bool = True,
     verify: bool = True,
     telemetry=None,
+    am=None,
 ) -> Function:
     """Build the continuation function ``f'_to``.
 
@@ -83,7 +89,7 @@ def generate_continuation(
                   landing=landing.name):
         return _generate_continuation(
             variant, landing, live_values, mapping, name, module,
-            cleanup, verify, tel,
+            cleanup, verify, tel, resolve_manager(am),
         )
 
 
@@ -97,6 +103,7 @@ def _generate_continuation(
     cleanup: bool,
     verify: bool,
     telemetry,
+    am,
 ) -> Function:
     if landing.parent is not variant:
         raise OSRError(
@@ -106,7 +113,7 @@ def _generate_continuation(
     if target_module is None:
         raise OSRError("variant has no module and none was provided")
 
-    _check_mapping_complete(variant, landing, mapping)
+    _check_mapping_complete(variant, landing, mapping, am)
 
     cont_type = FunctionType(
         variant.return_type, [v.type for v in live_values]
@@ -192,10 +199,12 @@ def _generate_continuation(
             phi.add_incoming(UndefValue(phi.type), osr_entry)
 
     # single-variable SSA repair for loop-carried definitions that remain
-    # reachable from the landing pad (run after the CFG is final)
+    # reachable from the landing pad (run after the CFG is final) — the
+    # repairs share one cached dominator tree through the manager, since
+    # phi insertion never changes the CFG
     for clone_value, replacement in deferred_repairs:
         updater = SSAUpdater(cont, clone_value.type,
-                             clone_value.name or "osr")
+                             clone_value.name or "osr", am=am)
         updater.add_definition(clone_value.parent, clone_value)
         updater.add_definition(osr_entry, replacement)
         updater.rewrite_uses_of(clone_value)
@@ -204,6 +213,9 @@ def _generate_continuation(
     remove_unreachable_blocks(cont)
     if cleanup:
         eliminate_dead_code(cont)
+    # the fresh continuation was rewritten wholesale during construction;
+    # retire anything cached against its pre-cleanup body
+    am.invalidate(cont)
 
     leftovers = [p for p in placeholders if p.is_used()]
     if leftovers:
@@ -220,8 +232,8 @@ def _generate_continuation(
 
 
 def _check_mapping_complete(variant: Function, landing: BasicBlock,
-                            mapping: StateMapping) -> None:
-    required = required_landing_state(variant, landing)
+                            mapping: StateMapping, am=None) -> None:
+    required = required_landing_state(variant, landing, am)
     missing = [v for v in required if mapping.get(v) is None]
     if missing:
         names = ", ".join(f"%{v.name}" for v in missing)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
-from ..analysis.liveness import LivenessInfo
+from ..analysis.manager import resolve_manager
 from ..ir import types as T
 from ..ir.builder import IRBuilder
 from ..ir.constexpr import ConstantIntToPtr
@@ -44,6 +44,16 @@ def _telemetry_for(engine):
     attached, the ambient telemetry otherwise (engine-less callers)."""
     tel = getattr(engine, "telemetry", None)
     return tel if tel is not None else ambient_telemetry()
+
+
+def _manager_for(engine, am=None):
+    """The analysis manager insertion helpers consult: an explicit one,
+    else the engine's, else the process-wide default.  Callers passing
+    both an engine and ``am`` should pass the engine's own manager, so
+    the invalidation the engine performs hits the same cache."""
+    if am is not None:
+        return am
+    return resolve_manager(getattr(engine, "analysis", None))
 
 
 def _unwrap_ir(obj):
@@ -140,6 +150,7 @@ def insert_resolved_osr_point(
     cont_name: Optional[str] = None,
     engine=None,
     verify: bool = True,
+    am=None,
 ) -> ResolvedOSR:
     """Insert a resolved OSR point before ``location`` (Figure 2).
 
@@ -148,6 +159,11 @@ def insert_resolved_osr_point(
     are derived automatically.  Otherwise the caller provides the variant
     ``f'``, the landing block ``L'`` and a :class:`StateMapping` covering
     the live-in state of ``L'`` (with compensation code as needed).
+
+    Liveness at ``location`` comes from ``am`` (defaulting to the
+    engine's analysis manager, or the process-wide one), so repeated
+    insertions against the same function version — and the continuation
+    generation below — share one computed result.
 
     Insertion is traced as an ``osr.insert`` span (kind ``resolved``) on
     the engine's telemetry (ambient when no engine is given), and the
@@ -158,7 +174,7 @@ def insert_resolved_osr_point(
     with tel.span(EV.OSR_INSERT, function=func.name, kind="resolved"):
         return _insert_resolved_osr_point(
             func, location, condition, variant, landing, mapping,
-            cont_name, engine, verify, tel,
+            cont_name, engine, verify, tel, _manager_for(engine, am),
         )
 
 
@@ -173,12 +189,13 @@ def _insert_resolved_osr_point(
     engine,
     verify: bool,
     telemetry,
+    am,
 ) -> ResolvedOSR:
     module = func.module
     if module is None:
         raise OSRError(f"@{func.name} is not inside a module")
 
-    live_values = LivenessInfo(func).live_before(location)
+    live_values = am.liveness(func).live_before(location)
     check_block = location.parent
     cont_block = split_block_at(location)
 
@@ -199,7 +216,7 @@ def _insert_resolved_osr_point(
     continuation = generate_continuation(
         variant, landing, live_values, mapping,
         name=cont_name or f"{variant.name}to",
-        module=module, verify=verify, telemetry=telemetry,
+        module=module, verify=verify, telemetry=telemetry, am=am,
     )
     continuation.attributes["osr.entrypoint"] = "resolved"
 
@@ -216,9 +233,9 @@ def _insert_resolved_osr_point(
     if verify:
         verify_function(func)
     if engine is not None:
-        engine.invalidate(func)  # also bumps code_version
+        engine.invalidate(func)  # bumps code_version via the manager
     else:
-        func.bump_code_version()
+        am.invalidate(func)
     return ResolvedOSR(func, continuation, variant, osr_block,
                        cont_block, live_values)
 
@@ -372,6 +389,7 @@ def insert_open_osr_point(
     pass_pristine_copy: bool = True,
     use_stub: bool = True,
     verify: bool = True,
+    am=None,
 ) -> OpenOSR:
     """Insert an open OSR point before ``location`` (Figure 3).
 
@@ -397,7 +415,7 @@ def insert_open_osr_point(
     with tel.span(EV.OSR_INSERT, function=func.name, kind="open"):
         return _insert_open_osr_point(
             func, location, condition, generator, engine, env, val,
-            pass_pristine_copy, use_stub, verify,
+            pass_pristine_copy, use_stub, verify, _manager_for(engine, am),
         )
 
 
@@ -412,6 +430,7 @@ def _insert_open_osr_point(
     pass_pristine_copy: bool,
     use_stub: bool,
     verify: bool,
+    am,
 ) -> OpenOSR:
     module = func.module
     if module is None:
@@ -419,7 +438,7 @@ def _insert_open_osr_point(
     if val is not None and not val.type.is_pointer:
         raise OSRError(f"open-OSR val must be pointer-typed, got {val.type}")
 
-    live_values = LivenessInfo(func).live_before(location)
+    live_values = am.liveness(func).live_before(location)
     check_block = location.parent
     cont_block = split_block_at(location)
 
@@ -503,7 +522,7 @@ def _emit_inline_generation(builder, func, live_values, generator, env,
     )
 
 
-def remove_osr_point(point, engine=None) -> Function:
+def remove_osr_point(point, engine=None, am=None) -> Function:
     """Undo an OSR instrumentation (de-instrumentation).
 
     Retargets the firing branch so the check block falls through
@@ -537,7 +556,7 @@ def remove_osr_point(point, engine=None) -> Function:
     aggressive_dce(func)
     verify_function(func)
     if engine is not None:
-        engine.invalidate(func)  # also bumps code_version
+        engine.invalidate(func)  # bumps code_version via the manager
     else:
-        func.bump_code_version()
+        _manager_for(engine, am).invalidate(func)
     return func

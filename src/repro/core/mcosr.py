@@ -25,7 +25,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..analysis.cfg import predecessor_map
-from ..analysis.liveness import LivenessInfo
 from ..ir import types as T
 from ..ir.builder import IRBuilder
 from ..ir.function import BasicBlock, Function
@@ -43,7 +42,12 @@ from ..obs import events as EV
 from ..transform.ssaupdater import SSAUpdater
 from .conditions import OSRCondition
 from .continuation import OSRError
-from .instrument import _emit_osr_check, _telemetry_for, split_block_at
+from .instrument import (
+    _emit_osr_check,
+    _manager_for,
+    _telemetry_for,
+    split_block_at,
+)
 
 
 class McOSRPoint:
@@ -75,6 +79,7 @@ def insert_mcosr_point(
     condition: OSRCondition,
     engine=None,
     verify: bool = True,
+    am=None,
 ) -> McOSRPoint:
     """Insert a McOSR-style OSR point before ``location``.
 
@@ -84,11 +89,13 @@ def insert_mcosr_point(
     the fired path first.
 
     Insertion is traced as an ``osr.insert`` span (kind ``mcosr``) on the
-    engine's telemetry (ambient when no engine is given).
+    engine's telemetry (ambient when no engine is given); liveness comes
+    from ``am`` (defaulting to the engine's analysis manager).
     """
     with _telemetry_for(engine).span(EV.OSR_INSERT, function=func.name,
                                      kind="mcosr"):
-        return _insert_mcosr_point(func, location, condition, engine, verify)
+        return _insert_mcosr_point(func, location, condition, engine,
+                                   verify, _manager_for(engine, am))
 
 
 def _insert_mcosr_point(
@@ -97,6 +104,7 @@ def _insert_mcosr_point(
     condition: OSRCondition,
     engine,
     verify: bool,
+    am,
 ) -> McOSRPoint:
     module = func.module
     if module is None:
@@ -110,7 +118,7 @@ def _insert_mcosr_point(
             f"two predecessors (%{block.name} has {len(preds)})"
         )
 
-    live_values = LivenessInfo(func).live_before(location)
+    live_values = am.liveness(func).live_before(location)
     check_block = location.parent
     landing = split_block_at(location)
 
@@ -183,12 +191,14 @@ def _insert_mcosr_point(
         if isinstance(value, PhiInst) and value.parent is landing:
             value.add_incoming(new_value, restore)
         elif isinstance(value, Instruction):
-            updater = SSAUpdater(func, value.type, value.name or "mcosr")
+            updater = SSAUpdater(func, value.type, value.name or "mcosr",
+                                 am=am)
             updater.add_definition(value.parent, value)
             updater.add_definition(restore, new_value)
             updater.rewrite_uses_of(value)
         else:  # function argument
-            updater = SSAUpdater(func, value.type, value.name or "mcosr")
+            updater = SSAUpdater(func, value.type, value.name or "mcosr",
+                                 am=am)
             updater.add_definition(new_entry, value)
             updater.add_definition(restore, new_value)
             updater.rewrite_uses_of(value)
@@ -201,8 +211,8 @@ def _insert_mcosr_point(
     if verify:
         verify_function(func)
     if engine is not None:
-        engine.invalidate(func)  # also bumps code_version
+        engine.invalidate(func)  # bumps code_version via the manager
     else:
-        func.bump_code_version()
+        am.invalidate(func)
     return McOSRPoint(func, flag, pool, osr_block, landing)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional
 
-from ..analysis.liveness import LivenessInfo
+from ..analysis.manager import resolve_manager
 from ..core import HotCounterCondition, insert_resolved_osr_point
 from ..obs import events as EV
 from ..obs import local_telemetry
@@ -55,7 +55,9 @@ class Q2Row(NamedTuple):
 def _instrument(module, benchmark, engine, threshold: int):
     location = q2_location(module, benchmark)
     func = location.function
-    live = LivenessInfo(func).live_before(location)
+    # shares the cached liveness with the OSR insertion right below
+    am = resolve_manager(getattr(engine, "analysis", None))
+    live = am.liveness(func).live_before(location)
     result = insert_resolved_osr_point(
         func, location, HotCounterCondition(threshold), engine=engine
     )

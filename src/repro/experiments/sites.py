@@ -15,23 +15,24 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..analysis.loops import Loop, LoopInfo
+from ..analysis.loops import Loop
+from ..analysis.manager import resolve_manager
 from ..ir.function import Function
 from ..ir.instructions import Instruction
 
 
-def hottest_loop(func: Function) -> Optional[Loop]:
+def hottest_loop(func: Function, am=None) -> Optional[Loop]:
     """The deepest-nesting natural loop of the function, or None."""
-    info = LoopInfo(func)
+    info = resolve_manager(am).loop_info(func)
     if not info.loops:
         return None
     return max(info.loops, key=lambda l: (l.depth, -len(l.blocks)))
 
 
-def loop_osr_location(func: Function) -> Instruction:
+def loop_osr_location(func: Function, am=None) -> Instruction:
     """The per-iteration OSR location: first instruction of the hottest
     loop's header (falls back to function entry when loop-free)."""
-    loop = hottest_loop(func)
+    loop = hottest_loop(func, am=am)
     if loop is None:
         return entry_osr_location(func)
     header = loop.header

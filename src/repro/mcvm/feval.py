@@ -209,7 +209,7 @@ def _insert_feval_osr_point(
 
     # now lift the whole function (frame slots + counter) into SSA form:
     # the OSR block's loads melt into the values live at the loop header
-    promote_memory_to_registers(func)
+    promote_memory_to_registers(func, am=engine.analysis)
     func.assign_names()
     verify_function(func)
     engine.invalidate(func)
@@ -324,14 +324,15 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
         # unboxing/boxing across representation changes (Figure 9)
         mapping = _build_state_mapping(vm, env, variant, landing)
 
+        am = vm.engine.analysis
         continuation = generate_continuation(
             variant.ir_function, landing,
             _live_value_specs(env), mapping,
             name=f"{variant.ir_function.name}_cont",
-            module=vm.module, telemetry=tel,
+            module=vm.module, telemetry=tel, am=am,
         )
-        promote_memory_to_registers(continuation)
-        optimize_function(continuation, "optimized")
+        promote_memory_to_registers(continuation, am=am)
+        optimize_function(continuation, "optimized", am=am)
         vm.engine.invalidate(continuation)
 
         # 4c: code caching
@@ -358,14 +359,15 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
             )
             landing = variant.loop_headers[env.loop_id]
             mapping = _build_state_mapping(vm, env, variant, landing)
+            am = engine.analysis
             continuation = generate_continuation(
                 variant.ir_function, landing,
                 _live_value_specs(env), mapping,
                 name=f"{variant.ir_function.name}_cont",
-                module=vm.module, telemetry=tel,
+                module=vm.module, telemetry=tel, am=am,
             )
-            promote_memory_to_registers(continuation)
-            optimize_function(continuation, "optimized")
+            promote_memory_to_registers(continuation, am=am)
+            optimize_function(continuation, "optimized", am=am)
             engine.invalidate(continuation)
             return continuation
 
@@ -408,7 +410,8 @@ def _build_state_mapping(vm, env: FevalOSREnv, variant: CompiledVersion,
     }
     mapping = StateMapping()
 
-    for value in required_landing_state(variant.ir_function, landing):
+    for value in required_landing_state(variant.ir_function, landing,
+                                        am=vm.engine.analysis):
         if not isinstance(value, AllocaInst):
             raise OSRError(
                 f"unexpected non-alloca live value %{value.name} at "

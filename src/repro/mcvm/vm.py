@@ -105,6 +105,7 @@ class McVM:
             self.module,
             version_oracle=self._version_oracle,
             object_table=self.engine.object_table,
+            analysis_manager=self.engine.analysis,
         )
         self.stats["versions_compiled"] += 1
         return compiler.compile(function, info, ir_name,
@@ -154,8 +155,10 @@ class McVM:
                     self.stats["osr_points"] += 1
                     instrumented = True
         if not instrumented:
-            promote_memory_to_registers(compiled.ir_function)
-            optimize_function(compiled.ir_function, "optimized")
+            promote_memory_to_registers(compiled.ir_function,
+                                        am=self.engine.analysis)
+            optimize_function(compiled.ir_function, "optimized",
+                              am=self.engine.analysis)
             self.engine.invalidate(compiled.ir_function)
         return compiled
 

@@ -33,6 +33,9 @@ name                      kind   emitted when
 ``deopt.exit``            event  an OSR-exit resumed baseline state mid-flight
 ``deopt.invalidate``      event  an invalidation cascaded to a dependent version
 ``deopt.continuation``    span   deopt compensation/continuation code is generated
+``analysis.cache_hit``    event  the analysis manager served a cached result
+``analysis.cache_miss``   event  an analysis was (re)computed and cached
+``analysis.invalidate``   event  a rewrite dropped/migrated cached analyses
 ========================  =====  ==================================================
 
 *event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
@@ -68,6 +71,9 @@ DEOPT_GUARD_FAIL = "deopt.guard_fail"
 DEOPT_EXIT = "deopt.exit"
 DEOPT_INVALIDATE = "deopt.invalidate"
 DEOPT_CONTINUATION = "deopt.continuation"
+ANALYSIS_CACHE_HIT = "analysis.cache_hit"
+ANALYSIS_CACHE_MISS = "analysis.cache_miss"
+ANALYSIS_INVALIDATE = "analysis.invalidate"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -89,6 +95,9 @@ INSTANT_NAMES = frozenset({
     DEOPT_GUARD_FAIL,
     DEOPT_EXIT,
     DEOPT_INVALIDATE,
+    ANALYSIS_CACHE_HIT,
+    ANALYSIS_CACHE_MISS,
+    ANALYSIS_INVALIDATE,
 })
 
 #: names emitted as begin/end span pairs

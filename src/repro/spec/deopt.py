@@ -210,6 +210,7 @@ class DeoptManager:
                 frame.baseline_mapping(),
                 name=f"{frame.baseline.name}.deopt",
                 module=frame.baseline.module, telemetry=tel,
+                am=self.engine.analysis,
             )
         cont.attributes["deopt.guard"] = guard_id
         compiled = compile_function(cont, self.engine)
@@ -241,6 +242,7 @@ class DeoptManager:
                     target.function, landing, frame.live_values, mapping,
                     name=f"{target.function.name}.cont",
                     module=target.function.module, telemetry=tel,
+                    am=self.engine.analysis,
                 )
         except (AutoStateError, OSRError):
             return None

@@ -111,6 +111,7 @@ class SpeculationManager:
             version = specialize_function(
                 state.baseline, arg_index, value,
                 module=engine.module, telemetry=engine.telemetry,
+                am=engine.analysis,
             )
         except SpeculationError:
             return None

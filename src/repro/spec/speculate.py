@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..analysis.liveness import LivenessInfo
-from ..analysis.loops import LoopInfo
+from ..analysis.manager import resolve_manager
 from ..ir.builder import IRBuilder
 from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import GuardInst
@@ -81,6 +80,7 @@ def specialize_function(
     module: Optional[Module] = None,
     optimize: bool = True,
     telemetry=None,
+    am=None,
 ) -> SpecializedVersion:
     """Build a guarded specialization of ``baseline`` for
     ``args[arg_index] == value``.
@@ -88,7 +88,9 @@ def specialize_function(
     Returns the :class:`SpecializedVersion` holding the new function and
     its per-guard frame states.  The baseline is left untouched — the
     engine keeps dispatching through it and only routes calls to the
-    specialization while its guards hold.
+    specialization while its guards hold; since the baseline never
+    changes, its liveness and loop info (pulled from ``am``, defaulting
+    to the process-wide manager) stay cached across respecializations.
     """
     if baseline.is_declaration:
         raise SpeculationError(f"cannot specialize declaration @{baseline.name}")
@@ -110,19 +112,19 @@ def specialize_function(
     with tel.span(EV.SPEC_SPECIALIZE, function=baseline.name,
                   arg_index=arg_index, value=repr(value)):
         return _specialize(baseline, arg_index, const, value,
-                           target_module, optimize)
+                           target_module, optimize, resolve_manager(am))
 
 
 def _specialize(baseline: Function, arg_index: int, const, value,
-                module: Module, optimize: bool) -> SpecializedVersion:
+                module: Module, optimize: bool, am) -> SpecializedVersion:
     arg = baseline.args[arg_index]
     baseline.assign_names()
-    liveness = LivenessInfo(baseline)
+    liveness = am.liveness(baseline)
 
     # guard sites: function entry + every loop header, deduplicated in
     # layout order — one boundary check plus one mid-flight exit per loop
     sites: List[BasicBlock] = [baseline.entry]
-    for loop in LoopInfo(baseline).loops:
+    for loop in am.loop_info(baseline).loops:
         if loop.header not in sites:
             sites.append(loop.header)
 

@@ -19,6 +19,8 @@ from .passmanager import (
     PASSES,
     PIPELINES,
     PassManager,
+    as_managed_pass,
+    managed_pass,
     optimize_function,
     optimize_module,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "PassManager",
     "PASSES",
     "PIPELINES",
+    "as_managed_pass",
+    "managed_pass",
     "optimize_function",
     "optimize_module",
     "simplify_cfg",

@@ -1,31 +1,129 @@
 """Pass manager.
 
-A deliberately simple pipeline runner in the spirit of ``opt``: passes are
-named callables over functions; standard pipelines bundle them the way the
-paper's experiments do (``mem2reg`` only for the *unoptimized* tier,
-``-O1``-like for the *optimized* tier).
+A deliberately simple pipeline runner in the spirit of ``opt`` under the
+new pass manager: a pass is a callable ``(func, am) ->
+PreservedAnalyses`` — it pulls analyses from the
+:class:`~repro.analysis.AnalysisManager` and reports which cached
+results it left valid.  The manager then invalidates selectively,
+folding the ``code_version`` bump into the invalidation path: a pass
+that changed nothing returns ``PreservedAnalyses.all()`` and the
+function keeps its version (and its compiled artifacts).
+
+Bare legacy callables ``(func) -> object`` are still accepted anywhere a
+pass is: :func:`as_managed_pass` wraps them as preserving nothing, the
+conservative truth for a pass of unknown behavior.
+
+Standard pipelines bundle the passes the way the paper's experiments do
+(``mem2reg`` only for the *unoptimized* tier, ``-O1``-like for the
+*optimized* tier).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence, Union
 
+from ..analysis.manager import (
+    AnalysisManager,
+    PreservedAnalyses,
+    resolve_manager,
+)
 from ..ir.function import Function, Module
 from ..ir.verifier import verify_function
 from .constfold import fold_constants
-from .dce import eliminate_dead_code, run_dce
+from .dce import eliminate_dead_blocks, eliminate_dead_code
 from .mem2reg import promote_memory_to_registers
 from .simplifycfg import simplify_cfg
 
-FunctionPass = Callable[[Function], object]
+#: the managed pass contract
+FunctionPass = Callable[[Function, AnalysisManager], PreservedAnalyses]
 
-#: registry of named function passes
+
+def managed_pass(fn: FunctionPass) -> FunctionPass:
+    """Mark ``fn`` as already following the managed contract."""
+    fn.is_managed_pass = True  # type: ignore[attr-defined]
+    return fn
+
+
+def as_managed_pass(fn: Callable) -> FunctionPass:
+    """Back-compat shim: adapt a bare ``(func)`` callable to the managed
+    contract.  A legacy pass makes no preservation claims, so it is
+    treated as invalidating everything whenever it reports a change
+    (truthy return) — and, conservatively, also when it returns nothing
+    at all (``None``), since silence is not a no-change guarantee."""
+    if getattr(fn, "is_managed_pass", False):
+        return fn
+
+    def wrapped(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+        changed = fn(func)
+        if changed is None or changed:
+            return PreservedAnalyses.none()
+        return PreservedAnalyses.all()
+
+    wrapped.__name__ = getattr(fn, "__name__", "legacy_pass")
+    wrapped.__doc__ = fn.__doc__
+    wrapped.is_managed_pass = True  # type: ignore[attr-defined]
+    wrapped.wraps_legacy = fn  # type: ignore[attr-defined]
+    return managed_pass(wrapped)
+
+
+# -- the standard passes, with honest preservation claims -----------------------
+#
+# "cfg_only" = instructions were rewritten but no block was added,
+# removed or re-targeted: the dominator tree and loop forest survive,
+# liveness does not (no pass preserves liveness — adding or removing any
+# use changes the live sets).
+
+
+@managed_pass
+def mem2reg_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+    if promote_memory_to_registers(func, am=am):
+        return PreservedAnalyses.cfg_only()
+    return PreservedAnalyses.all()
+
+
+@managed_pass
+def constfold_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+    if fold_constants(func):
+        return PreservedAnalyses.cfg_only()
+    return PreservedAnalyses.all()
+
+
+@managed_pass
+def dce_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+    if eliminate_dead_code(func):
+        return PreservedAnalyses.cfg_only()
+    return PreservedAnalyses.all()
+
+
+@managed_pass
+def dce_blocks_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+    """Blocks first (may kill uses), then instructions."""
+    removed_blocks = eliminate_dead_blocks(func)
+    removed_insts = eliminate_dead_code(func)
+    if removed_blocks:
+        return PreservedAnalyses.none()
+    if removed_insts:
+        return PreservedAnalyses.cfg_only()
+    return PreservedAnalyses.all()
+
+
+@managed_pass
+def simplifycfg_pass(func: Function, am: AnalysisManager
+                     ) -> PreservedAnalyses:
+    # simplify_cfg returns its fixed-point iteration count; one
+    # iteration means the first sweep found nothing to do
+    if simplify_cfg(func) > 1:
+        return PreservedAnalyses.none()
+    return PreservedAnalyses.all()
+
+
+#: registry of named function passes (all managed)
 PASSES: Dict[str, FunctionPass] = {
-    "mem2reg": promote_memory_to_registers,
-    "dce": eliminate_dead_code,
-    "dce+blocks": run_dce,
-    "constfold": fold_constants,
-    "simplifycfg": simplify_cfg,
+    "mem2reg": mem2reg_pass,
+    "dce": dce_pass,
+    "dce+blocks": dce_blocks_pass,
+    "constfold": constfold_pass,
+    "simplifycfg": simplifycfg_pass,
 }
 
 #: the two pipeline configurations of the paper's evaluation (Section 5.1)
@@ -46,42 +144,68 @@ PIPELINES: Dict[str, List[str]] = {
 
 
 class PassManager:
-    """Runs a named sequence of function passes, optionally verifying
-    after each step (the test suite always verifies)."""
+    """Runs a sequence of function passes, optionally verifying after
+    each step (the test suite always verifies).
 
-    def __init__(self, passes: Sequence[str], verify: bool = True):
-        unknown = [p for p in passes if p not in PASSES]
+    Passes are registry names or callables — managed ``(func, am)``
+    passes run as-is, bare legacy callables go through
+    :func:`as_managed_pass`.  After each pass the analysis manager
+    invalidates whatever the pass did not preserve; a pass returning
+    ``PreservedAnalyses.all()`` costs no version bump.
+    """
+
+    def __init__(self, passes: Sequence[Union[str, Callable]],
+                 verify: bool = True):
+        unknown = [p for p in passes
+                   if isinstance(p, str) and p not in PASSES]
         if unknown:
             raise KeyError(f"unknown passes: {unknown}")
-        self.pass_names = list(passes)
+        self.pass_names = [
+            p if isinstance(p, str) else getattr(p, "__name__", "pass")
+            for p in passes
+        ]
+        self._passes: List[FunctionPass] = [
+            PASSES[p] if isinstance(p, str) else as_managed_pass(p)
+            for p in passes
+        ]
         self.verify = verify
 
     @classmethod
     def pipeline(cls, name: str, verify: bool = True) -> "PassManager":
         return cls(PIPELINES[name], verify=verify)
 
-    def run(self, func: Function) -> Function:
-        for name in self.pass_names:
-            PASSES[name](func)
+    def run(self, func: Function, am: AnalysisManager = None) -> Function:
+        am = resolve_manager(am)
+        for pass_fn in self._passes:
+            preserved = pass_fn(func, am)
+            if not isinstance(preserved, PreservedAnalyses):
+                # a managed pass that forgot its return value gives no
+                # guarantees — same conservative treatment as legacy
+                preserved = PreservedAnalyses.none()
             if self.verify:
                 verify_function(func)
-        if self.pass_names:
-            # the IR may have changed shape: stale decoded/JIT artifacts
-            # keyed on the old version must not be reused
-            func.bump_code_version()
+            if not preserved.preserves_all:
+                # the IR changed shape: bump the version (stale
+                # decoded/JIT artifacts keyed on the old one must not be
+                # reused) and drop the analyses the pass clobbered
+                am.invalidate(func, preserved)
         return func
 
-    def run_module(self, module: Module) -> Module:
+    def run_module(self, module: Module, am: AnalysisManager = None
+                   ) -> Module:
+        am = resolve_manager(am)
         for func in module.functions:
             if not func.is_declaration:
-                self.run(func)
+                self.run(func, am)
         return module
 
 
-def optimize_function(func: Function, level: str = "optimized") -> Function:
+def optimize_function(func: Function, level: str = "optimized",
+                      am: AnalysisManager = None) -> Function:
     """Convenience: run one of the standard pipelines on a function."""
-    return PassManager.pipeline(level).run(func)
+    return PassManager.pipeline(level).run(func, am)
 
 
-def optimize_module(module: Module, level: str = "optimized") -> Module:
-    return PassManager.pipeline(level).run_module(module)
+def optimize_module(module: Module, level: str = "optimized",
+                    am: AnalysisManager = None) -> Module:
+    return PassManager.pipeline(level).run_module(module, am)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.cfg import predecessor_map
 from ..analysis.dominators import DominatorTree
+from ..analysis.manager import resolve_manager
 from ..ir.function import BasicBlock, Function
 from ..ir.instructions import Instruction, PhiInst
 from ..ir.types import Type
@@ -32,10 +33,12 @@ class SSAUpdater:
         updater.rewrite_uses_of(old_value)   # or rewrite_use per use
     """
 
-    def __init__(self, func: Function, type: Type, name_hint: str = "ssa"):
+    def __init__(self, func: Function, type: Type, name_hint: str = "ssa",
+                 am=None):
         self.function = func
         self.type = type
         self.name_hint = name_hint
+        self._am = am
         self._defs: Dict[BasicBlock, Value] = {}
         self._domtree: Optional[DominatorTree] = None
         self._frontier = None
@@ -54,7 +57,10 @@ class SSAUpdater:
         if self._sealed:
             return
         self._sealed = True
-        self._domtree = DominatorTree(self.function)
+        # phi insertion by this updater never changes the CFG, so the
+        # manager's cached tree survives a sequence of updater rounds
+        # (continuation generation runs one per repaired value)
+        self._domtree = resolve_manager(self._am).dominator_tree(self.function)
         self._frontier = self._domtree.dominance_frontier()
         self._preds = predecessor_map(self.function)
 

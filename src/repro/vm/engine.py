@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, List, Optional
 
+from ..analysis.manager import default_manager
 from ..ir import types as T
 from ..ir.function import Function, Module
 from ..ir.values import (
@@ -119,7 +120,7 @@ class ExecutionEngine:
                  interp_step_limit: Optional[int] = None,
                  call_threshold: int = DEFAULT_CALL_THRESHOLD,
                  backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
-                 telemetry=None):
+                 telemetry=None, analysis_manager=None):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
@@ -145,6 +146,12 @@ class ExecutionEngine:
         #: counts and engine counters are one namespace
         self.metrics = (self.telemetry.metrics if self.telemetry.enabled
                         else MetricsRegistry())
+        #: cached IR analyses (liveness/dominators/loops), shared
+        #: process-wide by default so OSR insertion, speculation and the
+        #: transforms all hit one cache; pass ``analysis_manager=`` for a
+        #: private one (benchmarks, bypass experiments)
+        self.analysis = (analysis_manager if analysis_manager is not None
+                         else default_manager())
         #: tier-up machinery
         self.profiler = TierProfiler(call_threshold, backedge_threshold)
         #: speculation & deopt machinery, created lazily by
@@ -569,7 +576,9 @@ class ExecutionEngine:
         counters reset) so the rewritten body re-earns its promotion
         instead of instantly re-tiering on stale counters.
         """
-        func.bump_code_version()
+        # the version bump routes through the analysis manager so cached
+        # liveness/domtree/loop results retire with the compiled code
+        self.analysis.invalidate(func)
         self._compiled.pop(func.name, None)
         self._decoded.pop(func.name, None)
         tel = self.telemetry
@@ -643,6 +652,7 @@ class ExecutionEngine:
         """
         snapshot = self.metrics.snapshot()
         snapshot["profiles"] = self.profiler.snapshot()
+        snapshot["analysis"] = self.analysis.stats()
         if self.spec_manager is not None:
             snapshot["speculation"] = self.spec_manager.stats()
         return snapshot

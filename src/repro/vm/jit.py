@@ -204,8 +204,11 @@ class CompiledCode:
         self.shape = shape
 
     def matches(self, func: Function) -> bool:
+        # same body-level stamp the analysis cache validates against
+        from ..analysis.manager import GRANULARITY_BODY, analysis_stamp
+
         return (self.version == func.code_version
-                and self.shape == func.code_shape())
+                and self.shape == analysis_stamp(func, GRANULARITY_BODY))
 
     def instantiate(self, engine):
         """Bind this code to ``engine`` and return the callable."""

@@ -53,3 +53,20 @@ def test_cli_smoke(tmp_path, capsys):
     assert data["env"]["smoke"] is True
     assert data["tiers"], "tiers rows missing from JSON"
     assert data["cache"], "cache rows implied by tiers are missing"
+
+
+def test_analysis_smoke_rows():
+    from benchmarks.bench_analysis import format_analysis, run_analysis
+
+    rows = run_analysis(smoke=True)
+    assert rows
+    for row in rows:
+        assert row.cached_s > 0
+        assert row.bypass_s > 0
+        # the acceptance bar: almost everything after the first round of
+        # queries is served from cache
+        assert row.hit_rate > 0.9, row
+        assert row.hits > 0
+        assert row.misses > 0
+    json.dumps([row._asdict() for row in rows], default=str)
+    assert "workload" in format_analysis(rows)

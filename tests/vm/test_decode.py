@@ -123,14 +123,35 @@ class TestCodeCache:
         assert engine.run("sumto", 5) == 15
         assert engine.jit_cache_misses == 2  # recompiled, not reused
 
-    def test_transform_passes_bump_version(self):
+    def test_modifying_pass_invalidates_artifact(self):
+        from repro.transform import PassManager
+
+        module = parse_module(
+            """
+            define i64 @f(i64 %n) {
+            entry:
+              %x = alloca i64
+              store i64 %n, i64* %x
+              %v = load i64, i64* %x
+              ret i64 %v
+            }
+            """
+        )
+        func = module.get_function("f")
+        stale = codegen_function(func)
+        PassManager.pipeline("unoptimized").run(func)  # mem2reg promotes %x
+        assert not stale.matches(func)
+
+    def test_no_op_pass_preserves_artifact(self):
         from repro.transform import PassManager
 
         module = parse_module(LOOP)
         func = module.get_function("sumto")
-        stale = codegen_function(func)
+        artifact = codegen_function(func)
+        # LOOP is already in SSA form: mem2reg changes nothing, so the
+        # compiled artifact stays valid (selective invalidation)
         PassManager.pipeline("unoptimized").run(func)
-        assert not stale.matches(func)
+        assert artifact.matches(func)
 
     def test_osr_instrumentation_bumps_version(self):
         from repro.core import HotCounterCondition, insert_resolved_osr_point
