@@ -4,10 +4,18 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test bench bench-smoke bench-tiers bench-spec bench-analysis trace-smoke
+.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis trace-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
+
+# the threaded background-compilation stress tests, with fault handler
+# tracebacks should a thread wedge
+stress:
+	$(PP) PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest -x -q \
+		tests/vm/test_background.py
+	$(PP) PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest -x -q \
+		tests/properties/test_tier_differential.py -k "Threaded"
 
 # single-trial, tiny workloads — seconds, suitable for CI
 bench-smoke:
@@ -16,6 +24,11 @@ bench-smoke:
 # the tier comparison that backs docs/execution-tiers.md
 bench-tiers:
 	$(PP) $(PYTHON) -m benchmarks tiers --json BENCH_tiers.json
+
+# background vs synchronous tier-up: first-hot-call latency and
+# steady-state throughput (backs docs/background-compilation.md)
+bench-background:
+	$(PP) $(PYTHON) -m benchmarks background --json BENCH_background.json
 
 # speculation & deopt: speedup on monomorphic loops, deopt vs invalidation
 bench-spec:

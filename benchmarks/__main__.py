@@ -8,7 +8,8 @@
 
 Targets: ``tiers`` (the tiered-execution comparison from
 ``bench_tiers.py``, the default), ``cache`` (cold vs. warm JIT
-materialization — implied by ``tiers``), ``spec`` (guarded
+materialization — implied by ``tiers``), ``background`` (non-blocking
+vs synchronous tier-up from ``bench_background.py``), ``spec`` (guarded
 speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
 ``analysis`` (cached vs recompute-always analyses from
 ``bench_analysis.py``) and ``q1``–``q4`` (the paper's evaluation
@@ -36,6 +37,7 @@ from repro.experiments import (
 from repro.obs import MetricsRegistry, Telemetry, ambient, set_ambient
 
 from .bench_analysis import format_analysis, run_analysis
+from .bench_background import format_background, run_background
 from .bench_spec_deopt import (
     format_deopt_cost,
     format_spec,
@@ -44,7 +46,8 @@ from .bench_spec_deopt import (
 )
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
-TARGETS = ("tiers", "cache", "spec", "analysis", "q1", "q2", "q3", "q4")
+TARGETS = ("tiers", "cache", "background", "spec", "analysis",
+           "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -117,6 +120,11 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             print(banner)
             rows = run_cache(trials=args.trials, smoke=args.smoke)
             print(format_cache(rows))
+        elif target == "background":
+            print("Background tier-up — non-blocking vs synchronous")
+            print(banner)
+            rows = run_background(trials=args.trials, smoke=args.smoke)
+            print(format_background(rows))
         elif target == "spec":
             print("Speculation — guarded fast paths and deopt cost")
             print(banner)

@@ -1,0 +1,205 @@
+"""Background compilation benchmarks: non-blocking vs synchronous tier-up.
+
+Quantifies the ``tiered-bg`` claim: the call that trips the promotion
+threshold no longer pays the JIT inline — it submits a job to the
+:class:`~repro.vm.background.CompileQueue` and returns through the
+decoded tier, so first-hot-call latency drops by roughly the compile
+cost — while steady-state throughput (both engines running the same
+published JIT code) stays flat.
+
+Two measurements per workload:
+
+* **first hot call** — warm ``threshold - 1`` calls, then time the
+  threshold-tripping call.  ``tiered`` compiles inline inside that call;
+  ``tiered-bg`` enqueues and keeps running decoded.
+* **steady state** — promote, drain the queue, then time a batch of
+  calls against the installed code.  The ratio should be ~1.0: the
+  dispatchers differ only in a list-cell vs box-attribute read.
+
+The workloads are compile-bound by construction: ``chain-N`` is a
+straight-line function of ``N`` blocks (3 arithmetic ops each), so one
+call is cheap but code generation scales with ``N`` — the regime where
+inline tier-up visibly stalls the caller.  (Tiny loop kernels like the
+shootout suite compile in ~a call's time under this Python-codegen JIT,
+so they cannot show the stall either way.)
+
+Runs standalone through ``python -m benchmarks background --json ...``
+and as pytest-benchmark cases via ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.ir import parse_module
+from repro.vm import ExecutionEngine
+
+#: calls before promotion in both engines under test
+THRESHOLD = 3
+
+
+def _chain_source(blocks: int) -> str:
+    """A straight-line function of ``blocks`` basic blocks — code-gen
+    cost grows with ``blocks`` while one call stays cheap."""
+    lines = ["define i64 @chain(i64 %x) {", "entry:", "  br label %b0"]
+    value = "%x"
+    for i in range(blocks):
+        target = f"b{i + 1}" if i + 1 < blocks else "done"
+        lines += [
+            f"b{i}:",
+            f"  %a{i} = add i64 {value}, {i}",
+            f"  %m{i} = mul i64 %a{i}, 3",
+            f"  %s{i} = sub i64 %m{i}, {i + 1}",
+            f"  br label %{target}",
+        ]
+        value = f"%s{i}"
+    lines += ["done:", f"  ret i64 {value}", "}"]
+    return "\n".join(lines)
+
+
+def _chain_module(blocks: int):
+    source = _chain_source(blocks)
+    return lambda: parse_module(source)
+
+
+class BackgroundRow(NamedTuple):
+    workload: str
+    sync_first_hot_s: float    #: threshold call, compile inline (tiered)
+    bg_first_hot_s: float      #: threshold call, compile queued (tiered-bg)
+    first_hot_speedup: float   #: sync_first_hot_s / bg_first_hot_s
+    sync_steady_s: float       #: batch of calls on promoted code, tiered
+    bg_steady_s: float         #: same batch, tiered-bg
+    steady_ratio: float        #: bg_steady_s / sync_steady_s (~1.0)
+    installed: int             #: background installs observed (sanity)
+    checksum: object
+
+
+def _cases(smoke: bool):
+    # (label, module factory, entry, first-call args, steady args,
+    #  steady batch size)
+    if smoke:
+        return [
+            ("chain-60", _chain_module(60), "chain", (7,), (7,), 5),
+        ]
+    return [
+        ("chain-150", _chain_module(150), "chain", (7,), (7,), 100),
+        ("chain-400", _chain_module(400), "chain", (7,), (7,), 100),
+    ]
+
+
+def _first_hot_call(factory, entry, args, tier, trials
+                    ) -> Tuple[float, object]:
+    """Best-of-``trials`` latency of the threshold-tripping call."""
+    best: Optional[float] = None
+    checksum = None
+    for _ in range(trials):
+        module = factory()
+        engine = ExecutionEngine(module, tier=tier,
+                                 call_threshold=THRESHOLD)
+        for _ in range(THRESHOLD - 1):
+            engine.run(entry, *args)
+        start = time.perf_counter()
+        checksum = engine.run(entry, *args)
+        elapsed = time.perf_counter() - start
+        engine.drain_background(10.0)
+        engine.shutdown_background()
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, checksum
+
+
+def _steady_state_pair(factory, entry, args, batch, trials
+                       ) -> Tuple[float, float, object, int]:
+    """Best-of-``trials`` batch time on promoted code, both modes.
+
+    The timed batches alternate sync/bg within each trial so clock and
+    load drift hits both identically — the published code is the same
+    ``CompiledCode`` either way, so any steady gap is dispatch overhead.
+    """
+    engines = {}
+    for tier in ("tiered", "tiered-bg"):
+        module = factory()
+        engine = ExecutionEngine(module, tier=tier,
+                                 call_threshold=THRESHOLD)
+        for _ in range(THRESHOLD + 1):
+            engine.run(entry, *args)
+        assert engine.drain_background(10.0)
+        engines[tier] = engine
+    bests: dict = {"tiered": None, "tiered-bg": None}
+    checksums = {}
+    for _ in range(trials):
+        for tier, engine in engines.items():
+            start = time.perf_counter()
+            for _ in range(batch):
+                checksums[tier] = engine.run(entry, *args)
+            elapsed = time.perf_counter() - start
+            if bests[tier] is None or elapsed < bests[tier]:
+                bests[tier] = elapsed
+    assert checksums["tiered"] == checksums["tiered-bg"], checksums
+    installed = engines["tiered-bg"].background_queue.installed
+    engines["tiered-bg"].shutdown_background()
+    return (bests["tiered"], bests["tiered-bg"], checksums["tiered"],
+            installed)
+
+
+def run_background(trials: int = 3, smoke: bool = False
+                   ) -> List[BackgroundRow]:
+    """Background vs synchronous tier-up, per workload."""
+    if smoke:
+        trials = 1
+    rows: List[BackgroundRow] = []
+    for label, factory, entry, first_args, steady_args, batch in \
+            _cases(smoke):
+        sync_first, sync_sum = _first_hot_call(
+            factory, entry, first_args, "tiered", trials)
+        bg_first, bg_sum = _first_hot_call(
+            factory, entry, first_args, "tiered-bg", trials)
+        assert bg_sum == sync_sum, (label, bg_sum, sync_sum)
+        sync_steady, bg_steady, steady_sum, installed = _steady_state_pair(
+            factory, entry, steady_args, batch, trials)
+        rows.append(BackgroundRow(
+            workload=label,
+            sync_first_hot_s=sync_first,
+            bg_first_hot_s=bg_first,
+            first_hot_speedup=(sync_first / bg_first if bg_first else 0.0),
+            sync_steady_s=sync_steady,
+            bg_steady_s=bg_steady,
+            steady_ratio=(bg_steady / sync_steady if sync_steady else 0.0),
+            installed=installed,
+            checksum=steady_sum,
+        ))
+    return rows
+
+
+def format_background(rows: List[BackgroundRow]) -> str:
+    header = (f"{'workload':<12} {'sync-1st':>12} {'bg-1st':>12} "
+              f"{'speedup':>9} {'sync-steady':>12} {'bg-steady':>12} "
+              f"{'ratio':>7}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.workload:<12} {r.sync_first_hot_s:>12.6f} "
+            f"{r.bg_first_hot_s:>12.6f} {r.first_hot_speedup:>8.1f}x "
+            f"{r.sync_steady_s:>12.6f} {r.bg_steady_s:>12.6f} "
+            f"{r.steady_ratio:>7.2f}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark cases ---------------------------------------------------
+
+def test_background_first_hot_call_is_cheaper(benchmark):
+    rows = benchmark.pedantic(lambda: run_background(trials=2), rounds=1,
+                              iterations=1)
+    from .conftest import report
+
+    report("Background tier-up — first hot call & steady state",
+           format_background(rows))
+    for row in rows:
+        # the threshold-tripping call must not pay the inline compile
+        assert row.first_hot_speedup > 1.0, row
+        # both steady states run the same published JIT code; allow
+        # generous headroom for timer noise on tiny batches
+        assert row.steady_ratio < 1.25, row
+        assert row.installed > 0, row

@@ -22,10 +22,17 @@ Cache hits, misses and invalidations feed the closed telemetry
 vocabulary (``analysis.cache_hit`` / ``analysis.cache_miss`` /
 ``analysis.invalidate``) and the manager's own counters, surfaced by
 ``ExecutionEngine.stats_snapshot()["analysis"]``.
+
+The manager is thread-safe: background compile workers and the main
+thread share one cache, so a reentrant lock serializes every query and
+invalidation.  Computation happens under the lock — two threads asking
+for the same analysis never race a half-built result into the cache,
+at the cost of serializing concurrent computes (they are cold-path).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, FrozenSet, NamedTuple, Optional, Tuple
 
@@ -207,6 +214,10 @@ class AnalysisManager:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        #: reentrant so invalidate() can be called from a context that
+        #: already holds the lock (e.g. a pass pipeline under an engine
+        #: lock that also queries analyses)
+        self._lock = threading.RLock()
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -219,41 +230,45 @@ class AnalysisManager:
     def get(self, name: str, func: Function):
         """The ``name`` analysis of ``func``, cached per code version."""
         spec = ANALYSES[name]
-        if self.bypass:
+        with self._lock:
+            if self.bypass:
+                self.misses += 1
+                return spec.compute(func)
+            cell = self._cells.get(id(func))
+            if cell is not None and cell.func is func:
+                if cell.version != func.code_version:
+                    # stale version: the single-version cell is replaced
+                    cell.version = func.code_version
+                    cell.results.clear()
+                else:
+                    entry = cell.results.get(name)
+                    if (entry is not None
+                            and entry[0] == analysis_stamp(
+                                func, spec.granularity)):
+                        self.hits += 1
+                        self._cells.move_to_end(id(func))
+                        tel = self._tel()
+                        if tel.enabled:
+                            tel.event(EV.ANALYSIS_CACHE_HIT,
+                                      function=func.name, analysis=name)
+                        return entry[1]
             self.misses += 1
-            return spec.compute(func)
-        cell = self._cells.get(id(func))
-        if cell is not None and cell.func is func:
-            if cell.version != func.code_version:
-                # stale version: the single-version cell is replaced
-                cell.version = func.code_version
-                cell.results.clear()
-            else:
-                entry = cell.results.get(name)
-                if (entry is not None
-                        and entry[0] == analysis_stamp(func, spec.granularity)):
-                    self.hits += 1
-                    self._cells.move_to_end(id(func))
-                    tel = self._tel()
-                    if tel.enabled:
-                        tel.event(EV.ANALYSIS_CACHE_HIT,
-                                  function=func.name, analysis=name)
-                    return entry[1]
-        self.misses += 1
-        tel = self._tel()
-        if tel.enabled:
-            tel.event(EV.ANALYSIS_CACHE_MISS,
-                      function=func.name, analysis=name,
-                      code_version=func.code_version)
-        result = spec.compute(func)
-        if cell is None or cell.func is not func:
-            cell = _Cell(func)
-            self._cells[id(func)] = cell
-        cell.results[name] = (analysis_stamp(func, spec.granularity), result)
-        self._cells.move_to_end(id(func))
-        while len(self._cells) > self.max_functions:
-            self._cells.popitem(last=False)
-        return result
+            tel = self._tel()
+            if tel.enabled:
+                tel.event(EV.ANALYSIS_CACHE_MISS,
+                          function=func.name, analysis=name,
+                          code_version=func.code_version)
+            result = spec.compute(func)
+            if cell is None or cell.func is not func:
+                cell = _Cell(func)
+                self._cells[id(func)] = cell
+            cell.results[name] = (
+                analysis_stamp(func, spec.granularity), result
+            )
+            self._cells.move_to_end(id(func))
+            while len(self._cells) > self.max_functions:
+                self._cells.popitem(last=False)
+            return result
 
     def liveness(self, func: Function) -> LivenessInfo:
         return self.get("liveness", func)
@@ -267,17 +282,18 @@ class AnalysisManager:
     def cached(self, name: str, func: Function):
         """Peek: the cached result for the *current* version, or None.
         Never computes and never counts as a hit or miss."""
-        cell = self._cells.get(id(func))
-        if cell is None or cell.func is not func:
-            return None
-        if cell.version != func.code_version:
-            return None
-        entry = cell.results.get(name)
-        if entry is None:
-            return None
-        if entry[0] != analysis_stamp(func, ANALYSES[name].granularity):
-            return None
-        return entry[1]
+        with self._lock:
+            cell = self._cells.get(id(func))
+            if cell is None or cell.func is not func:
+                return None
+            if cell.version != func.code_version:
+                return None
+            entry = cell.results.get(name)
+            if entry is None:
+                return None
+            if entry[0] != analysis_stamp(func, ANALYSES[name].granularity):
+                return None
+            return entry[1]
 
     # -- invalidation ------------------------------------------------------------
 
@@ -295,39 +311,42 @@ class AnalysisManager:
         version — callers decide whether an unchanged body needs one by
         not calling invalidate at all (see ``PassManager.run``).
         """
-        old_version = func.code_version
-        new_version = func.bump_code_version()
-        self.invalidations += 1
-        kept = 0
-        cell = self._cells.get(id(func))
-        if cell is not None and cell.func is func:
-            migrated: Dict[str, Tuple[Tuple[int, ...], object]] = {}
-            if preserved is not None and cell.version == old_version:
-                for name, (stamp, result) in cell.results.items():
-                    if preserved.preserves(name):
-                        spec = ANALYSES[name]
-                        migrated[name] = (
-                            analysis_stamp(func, spec.granularity), result
-                        )
-            if migrated:
-                cell.version = new_version
-                cell.results = migrated
-                kept = len(migrated)
-            else:
-                del self._cells[id(func)]
-        tel = self._tel()
-        if tel.enabled:
-            tel.event(EV.ANALYSIS_INVALIDATE, function=func.name,
-                      code_version=new_version, preserved=kept)
-        return new_version
+        with self._lock:
+            old_version = func.code_version
+            new_version = func.bump_code_version()
+            self.invalidations += 1
+            kept = 0
+            cell = self._cells.get(id(func))
+            if cell is not None and cell.func is func:
+                migrated: Dict[str, Tuple[Tuple[int, ...], object]] = {}
+                if preserved is not None and cell.version == old_version:
+                    for name, (stamp, result) in cell.results.items():
+                        if preserved.preserves(name):
+                            spec = ANALYSES[name]
+                            migrated[name] = (
+                                analysis_stamp(func, spec.granularity), result
+                            )
+                if migrated:
+                    cell.version = new_version
+                    cell.results = migrated
+                    kept = len(migrated)
+                else:
+                    del self._cells[id(func)]
+            tel = self._tel()
+            if tel.enabled:
+                tel.event(EV.ANALYSIS_INVALIDATE, function=func.name,
+                          code_version=new_version, preserved=kept)
+            return new_version
 
     def forget(self, func: Function) -> None:
         """Drop every cached result for ``func`` without touching its
         code version (e.g. the function is being discarded)."""
-        self._cells.pop(id(func), None)
+        with self._lock:
+            self._cells.pop(id(func), None)
 
     def clear(self) -> None:
-        self._cells.clear()
+        with self._lock:
+            self._cells.clear()
 
     # -- statistics --------------------------------------------------------------
 
@@ -335,16 +354,17 @@ class AnalysisManager:
         """Cache counters, the shape ``stats_snapshot()["analysis"]``
         exposes.  ``hits``/``misses`` mirror the ``analysis.cache_hit``
         / ``analysis.cache_miss`` telemetry counters one-for-one."""
-        queries = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "hit_rate": (self.hits / queries) if queries else 0.0,
-            "functions": len(self._cells),
-            "entries": sum(len(c.results) for c in self._cells.values()),
-            "bypass": self.bypass,
-        }
+        with self._lock:
+            queries = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": (self.hits / queries) if queries else 0.0,
+                "functions": len(self._cells),
+                "entries": sum(len(c.results) for c in self._cells.values()),
+                "bypass": self.bypass,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<AnalysisManager hits={self.hits} misses={self.misses} "

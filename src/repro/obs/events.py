@@ -36,6 +36,10 @@ name                      kind   emitted when
 ``analysis.cache_hit``    event  the analysis manager served a cached result
 ``analysis.cache_miss``   event  an analysis was (re)computed and cached
 ``analysis.invalidate``   event  a rewrite dropped/migrated cached analyses
+``compile.queue``         event  a tier-up compile was enqueued on the background queue
+``compile.start``         event  a queue worker picked the job up and began compiling
+``compile.install``       event  the finished code was atomically published
+``compile.discard``       event  a stale in-flight compile was dropped (generation raced)
 ========================  =====  ==================================================
 
 *event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
@@ -74,6 +78,15 @@ DEOPT_CONTINUATION = "deopt.continuation"
 ANALYSIS_CACHE_HIT = "analysis.cache_hit"
 ANALYSIS_CACHE_MISS = "analysis.cache_miss"
 ANALYSIS_INVALIDATE = "analysis.invalidate"
+COMPILE_QUEUE = "compile.queue"
+COMPILE_START = "compile.start"
+COMPILE_INSTALL = "compile.install"
+COMPILE_DISCARD = "compile.discard"
+
+#: metrics-only names (no trace events): the background queue's depth
+#: gauge and its enqueue-to-install latency timer
+COMPILE_QUEUE_DEPTH = "compile.queue_depth"
+COMPILE_LATENCY = "compile.latency"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -98,6 +111,10 @@ INSTANT_NAMES = frozenset({
     ANALYSIS_CACHE_HIT,
     ANALYSIS_CACHE_MISS,
     ANALYSIS_INVALIDATE,
+    COMPILE_QUEUE,
+    COMPILE_START,
+    COMPILE_INSTALL,
+    COMPILE_DISCARD,
 })
 
 #: names emitted as begin/end span pairs

@@ -8,10 +8,17 @@ exactly what the runtime did in between.
 
 Counters are plain dict increments (cheap enough to stay on even without
 tracing); timers store ``(count, total, min, max)`` in seconds.
+
+The registry is thread-safe: one lock guards every mutation, so the
+background compile workers and the main thread fold into the same
+counters/timers without losing increments.  Reads (``counter``,
+``gauge_value``, ``timer_stats``) stay lock-free — a read racing a
+write sees either the old or the new value, never a torn one.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Optional
@@ -20,20 +27,22 @@ from typing import Dict, Optional
 class MetricsRegistry:
     """Process-local registry of named counters, gauges and timers."""
 
-    __slots__ = ("_counters", "_gauges", "_timers")
+    __slots__ = ("_counters", "_gauges", "_timers", "_lock")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._timers: Dict[str, list] = {}
+        self._lock = threading.Lock()
 
     # -- counters -----------------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> int:
         """Increment counter ``name`` and return its new value."""
-        value = self._counters.get(name, 0) + amount
-        self._counters[name] = value
-        return value
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -41,13 +50,15 @@ class MetricsRegistry:
 
     def set_counter(self, name: str, value: int) -> None:
         """Force a counter to an absolute value (back-compat setters)."""
-        self._counters[name] = value
+        with self._lock:
+            self._counters[name] = value
 
     # -- gauges -------------------------------------------------------------------
 
     def gauge(self, name: str, value: float) -> None:
         """Set gauge ``name`` to an absolute value."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def gauge_value(self, name: str, default: float = 0.0) -> float:
         return self._gauges.get(name, default)
@@ -56,16 +67,17 @@ class MetricsRegistry:
 
     def record_time(self, name: str, seconds: float) -> None:
         """Fold one observation into timer ``name``."""
-        cell = self._timers.get(name)
-        if cell is None:
-            self._timers[name] = [1, seconds, seconds, seconds]
-        else:
-            cell[0] += 1
-            cell[1] += seconds
-            if seconds < cell[2]:
-                cell[2] = seconds
-            if seconds > cell[3]:
-                cell[3] = seconds
+        with self._lock:
+            cell = self._timers.get(name)
+            if cell is None:
+                self._timers[name] = [1, seconds, seconds, seconds]
+            else:
+                cell[0] += 1
+                cell[1] += seconds
+                if seconds < cell[2]:
+                    cell[2] = seconds
+                if seconds > cell[3]:
+                    cell[3] = seconds
 
     @contextmanager
     def timer(self, name: str):
@@ -77,6 +89,10 @@ class MetricsRegistry:
             self.record_time(name, time.perf_counter() - start)
 
     def timer_stats(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            return self._timer_stats_locked(name)
+
+    def _timer_stats_locked(self, name: str) -> Optional[Dict[str, float]]:
         cell = self._timers.get(name)
         if cell is None:
             return None
@@ -88,13 +104,15 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A deep, JSON-serializable copy of the registry state."""
-        return {
-            "counters": dict(self._counters),
-            "gauges": dict(self._gauges),
-            "timers": {
-                name: self.timer_stats(name) for name in self._timers
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {
+                    name: self._timer_stats_locked(name)
+                    for name in self._timers
+                },
+            }
 
     @staticmethod
     def diff(before: Dict[str, Dict[str, object]],
@@ -126,9 +144,10 @@ class MetricsRegistry:
         }
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

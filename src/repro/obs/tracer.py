@@ -9,10 +9,17 @@ manager, so streams are well formed by construction (and
 
 The clock is injectable for deterministic tests; the default is
 :func:`time.perf_counter_ns`.
+
+Emission is thread-safe: a lock makes each (clock read, append) pair
+atomic, so instants recorded by background compile workers interleave
+with the main thread's stream without breaking timestamp monotonicity.
+Spans stay a single-thread affair — the B/E stack is one per tracer —
+which is why the background queue emits only instants.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -36,13 +43,14 @@ class _SpanGuard:
 class Tracer:
     """Collects trace events; one per :class:`~repro.obs.Telemetry`."""
 
-    __slots__ = ("events", "_clock", "_stack", "_last_ts")
+    __slots__ = ("events", "_clock", "_stack", "_last_ts", "_lock")
 
     def __init__(self, clock: Optional[Callable[[], int]] = None):
         self.events: List[Dict[str, object]] = []
         self._clock = clock if clock is not None else time.perf_counter_ns
         self._stack: List[int] = []  # indices of open B events
         self._last_ts: int = 0
+        self._lock = threading.Lock()
 
     def _now(self) -> int:
         # clamp so a non-monotonic injected clock cannot corrupt the
@@ -54,30 +62,35 @@ class Tracer:
         return ts
 
     def instant(self, name: str, args: Dict[str, object]) -> None:
-        self.events.append(
-            {"name": name, "ph": "i", "ts": self._now(), "args": args}
-        )
+        with self._lock:
+            self.events.append(
+                {"name": name, "ph": "i", "ts": self._now(), "args": args}
+            )
 
     def begin(self, name: str, args: Dict[str, object]) -> None:
-        self._stack.append(len(self.events))
-        self.events.append(
-            {"name": name, "ph": "B", "ts": self._now(), "args": args}
-        )
+        with self._lock:
+            self._stack.append(len(self.events))
+            self.events.append(
+                {"name": name, "ph": "B", "ts": self._now(), "args": args}
+            )
 
     def end(self, name: str) -> float:
         """Close the innermost span; returns its duration in seconds."""
-        ts = self._now()
-        if not self._stack:
-            raise RuntimeError(f"end({name!r}) with no open span")
-        begin_index = self._stack.pop()
-        begin_event = self.events[begin_index]
-        if begin_event["name"] != name:
-            raise RuntimeError(
-                f"end({name!r}) but innermost open span is "
-                f"{begin_event['name']!r}"
+        with self._lock:
+            ts = self._now()
+            if not self._stack:
+                raise RuntimeError(f"end({name!r}) with no open span")
+            begin_index = self._stack.pop()
+            begin_event = self.events[begin_index]
+            if begin_event["name"] != name:
+                raise RuntimeError(
+                    f"end({name!r}) but innermost open span is "
+                    f"{begin_event['name']!r}"
+                )
+            self.events.append(
+                {"name": name, "ph": "E", "ts": ts, "args": {}}
             )
-        self.events.append({"name": name, "ph": "E", "ts": ts, "args": {}})
-        return (ts - begin_event["ts"]) / 1e9
+            return (ts - begin_event["ts"]) / 1e9
 
     def span(self, name: str, args: Dict[str, object]) -> _SpanGuard:
         """Open a span closed at ``with`` exit."""

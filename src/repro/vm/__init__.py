@@ -7,8 +7,14 @@ the decoded interpreter to the JIT as the default mixed mode.  Provides
 lazy compilation, a cross-engine compiled-code cache, native symbol
 resolution, global storage, and the object table that OSR stubs use to
 carry IR objects through ``inttoptr`` constants.
+
+The ``tiered-bg`` tier moves the tier-up compile onto a background
+:class:`CompileQueue` worker so hot calls never stall on the JIT; results
+install via a generation-stamped atomic publish
+(:class:`PublishBox`) that a racing ``invalidate()`` wins.
 """
 
+from .background import CompileJob, CompileQueue, PublishBox
 from .decode import DecodedFunction, DecodeError, decode_function
 from .engine import TIERS, ExecutionEngine, ObjectTable
 from .interpreter import Interpreter, StepLimitExceeded, Trap
@@ -31,6 +37,9 @@ __all__ = [
     "ExecutionEngine",
     "ObjectTable",
     "TIERS",
+    "CompileJob",
+    "CompileQueue",
+    "PublishBox",
     "Interpreter",
     "Trap",
     "StepLimitExceeded",

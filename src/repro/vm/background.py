@@ -1,0 +1,311 @@
+"""Background compilation: non-blocking tier-up off the hot path.
+
+Every tier in this reproduction used to compile synchronously on the
+calling thread — a hot call ate the full JIT + analysis cost before it
+could proceed.  Production VMs decouple the two: the paper's OSR
+machinery (and the Deoptless/à-la-Carte framing in PAPERS.md) assumes a
+new code version can be *produced* off the hot path and *installed*
+atomically while the function keeps running in its current tier.
+
+:class:`CompileQueue` is that producer: a small worker-thread pool fed
+by the engine's ``tiered-bg`` dispatcher.  On threshold-trip the
+dispatcher submits a :class:`CompileJob` and keeps executing the decoded
+tier; a worker runs the engine-read-only code generation
+(:func:`~repro.vm.jit.codegen_function`) and asks the owning engine to
+publish the result.
+
+Correctness rests on three pieces:
+
+* **deduplicated pending set** — one in-flight job per
+  ``(engine, function)``; re-tripping the threshold while a compile is
+  queued or running is a no-op;
+* **priority by hotness** — jobs pop hottest-first
+  (:meth:`FunctionProfile.hotness`), so under a backlog the functions
+  burning the most interpreter time tier up first;
+* **atomic publish with a generation stamp** — the dispatcher reads a
+  :class:`PublishBox`, a single-assignment cell created with the
+  function's *compile generation*.  ``engine.invalidate()`` bumps the
+  generation under the engine lock; the worker re-checks it (and the
+  body-level artifact stamp) inside the same lock before assigning the
+  box, so a racing invalidation makes the worker *discard* the
+  in-flight result instead of installing stale code.
+
+Telemetry: ``compile.queue`` / ``compile.start`` / ``compile.install``
+/ ``compile.discard`` instants (workers never open spans — the span
+stack is single-threaded), a ``compile.queue_depth`` gauge, and a
+``compile.latency`` timer measuring enqueue-to-install.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import events as EV
+from .jit import JITError, codegen_function
+
+
+class PublishBox:
+    """Single-assignment publication cell for one dispatcher.
+
+    ``value`` starts ``None`` (keep running the decoded tier) and is
+    assigned exactly once, under the owning engine's lock, with the
+    compiled callable — the "atomic publish".  ``generation`` is the
+    function's compile generation at dispatcher creation; a worker may
+    only assign the box while the engine still reports that generation.
+    ``failed`` latches a code-generation failure (:class:`JITError`) so
+    the dispatcher stops re-submitting and stays on the decoded tier.
+    """
+
+    __slots__ = ("value", "generation", "failed")
+
+    def __init__(self, generation: int):
+        self.value = None
+        self.generation = generation
+        self.failed = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = ("failed" if self.failed
+                 else "published" if self.value is not None else "pending")
+        return f"<PublishBox gen={self.generation} {state}>"
+
+
+class CompileJob:
+    """One queued tier-up compile: a function, its engine, and the box
+    the result publishes into."""
+
+    __slots__ = ("engine", "func", "box", "priority", "enqueued_at",
+                 "cancelled")
+
+    def __init__(self, engine, func, box: PublishBox, priority: int):
+        self.engine = engine
+        self.func = func
+        self.box = box
+        self.priority = priority
+        self.enqueued_at = time.perf_counter()
+        #: set by :meth:`CompileQueue.discard` (invalidation raced the
+        #: queue); the worker drops the job without compiling
+        self.cancelled = False
+
+    @property
+    def key(self) -> Tuple[int, str]:
+        return (id(self.engine), self.func.name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CompileJob @{self.func.name} prio={self.priority}>"
+
+
+class CompileQueue:
+    """Worker-thread pool compiling tier-up jobs hottest-first.
+
+    One queue may serve many engines (jobs carry their engine); the
+    default ``tiered-bg`` engine creates a private single-worker queue
+    lazily.  Workers are daemon threads started on first submit, so a
+    queue that is never used costs nothing and never blocks interpreter
+    shutdown.
+    """
+
+    def __init__(self, workers: int = 1, name: str = "compile"):
+        if workers < 1:
+            raise ValueError("CompileQueue needs at least one worker")
+        self.workers = workers
+        self.name = name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: (-priority, seq, job) min-heap — pops the hottest job first
+        self._heap: List[Tuple[int, int, CompileJob]] = []
+        #: dedup: job key -> job, for every job queued or in flight
+        self._pending: Dict[Tuple[int, str], CompileJob] = {}
+        self._seq = itertools.count()
+        self._threads: List[threading.Thread] = []
+        self._inflight = 0
+        self._shutdown = False
+        #: lifetime counters, mirrored into each job's engine metrics
+        self.submitted = 0
+        self.installed = 0
+        self.discarded = 0
+        self.failed = 0
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, engine, func, box: PublishBox, priority: int) -> bool:
+        """Enqueue a tier-up compile; returns False when deduplicated.
+
+        The caller (the dispatcher, on its own hot path) pays one lock
+        acquisition and a heap push — never any compilation cost.
+        """
+        job = CompileJob(engine, func, box, priority)
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError("CompileQueue is shut down")
+            if job.key in self._pending:
+                return False
+            self._pending[job.key] = job
+            heapq.heappush(self._heap, (-priority, next(self._seq), job))
+            depth = len(self._heap)
+            self._ensure_workers()
+            self._cond.notify()
+        tel = engine.telemetry
+        engine.metrics.gauge(EV.COMPILE_QUEUE_DEPTH, depth)
+        if tel.enabled:
+            tel.event(EV.COMPILE_QUEUE, function=func.name,
+                      priority=priority, depth=depth)
+        else:
+            engine.metrics.inc(EV.COMPILE_QUEUE)
+        self.submitted += 1
+        return True
+
+    def discard(self, engine, name: str) -> bool:
+        """Cancel a pending/in-flight job for ``(engine, name)``.
+
+        Called by ``engine.invalidate()`` under the engine lock; the
+        generation stamp already protects the install, this additionally
+        frees the dedup slot so the rewritten body can be resubmitted
+        immediately.
+        """
+        key = (id(engine), name)
+        with self._cond:
+            job = self._pending.pop(key, None)
+            if job is None:
+                return False
+            job.cancelled = True
+        return True
+
+    def _ensure_workers(self) -> None:
+        # called under the lock; replenish dead/unstarted workers
+        alive = [t for t in self._threads if t.is_alive()]
+        while len(alive) < self.workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{len(alive)}",
+                daemon=True,
+            )
+            alive.append(thread)
+            thread.start()
+        self._threads = alive
+
+    # -- the worker ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown and not self._heap:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                self._inflight += 1
+                depth = len(self._heap)
+            try:
+                job.engine.metrics.gauge(EV.COMPILE_QUEUE_DEPTH, depth)
+                self._process(job)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    # the job may already be gone (discard/cancel)
+                    if self._pending.get(job.key) is job:
+                        del self._pending[job.key]
+                    self._cond.notify_all()
+
+    def _process(self, job: CompileJob) -> None:
+        engine = job.engine
+        func = job.func
+        tel = engine.telemetry
+        if (job.cancelled
+                or engine.compile_generation(func.name) != job.box.generation):
+            self._discard(job, "stale-generation")
+            return
+        if tel.enabled:
+            tel.event(EV.COMPILE_START, function=func.name,
+                      priority=job.priority)
+        else:
+            engine.metrics.inc(EV.COMPILE_START)
+        try:
+            # engine-read-only: pure codegen, cached on the Function
+            artifact = codegen_function(func)
+        except JITError as error:
+            job.box.failed = True
+            self.failed += 1
+            self._discard(job, f"jit-error: {error}")
+            return
+        if engine._publish_background(job, artifact):
+            self.installed += 1
+            latency = time.perf_counter() - job.enqueued_at
+            engine.metrics.record_time(EV.COMPILE_LATENCY, latency)
+            if tel.enabled:
+                tel.event(EV.COMPILE_INSTALL, function=func.name,
+                          code_version=func.code_version,
+                          generation=job.box.generation)
+            else:
+                engine.metrics.inc(EV.COMPILE_INSTALL)
+        else:
+            self._discard(job, "stale-generation")
+
+    def _discard(self, job: CompileJob, reason: str) -> None:
+        self.discarded += 1
+        tel = job.engine.telemetry
+        if tel.enabled:
+            tel.event(EV.COMPILE_DISCARD, function=job.func.name,
+                      reason=reason)
+        else:
+            job.engine.metrics.inc(EV.COMPILE_DISCARD)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued/in-flight job finished (or timeout).
+
+        Returns True when the queue is idle — the benchmark and test
+        idiom for "the promotion has landed (or been discarded)".
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while self._heap or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued-but-unstarted jobs are abandoned."""
+        with self._cond:
+            self._shutdown = True
+            self._heap.clear()
+            self._pending.clear()
+            self._cond.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def idle(self) -> bool:
+        with self._lock:
+            return not self._heap and not self._inflight
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "depth": len(self._heap),
+                "inflight": self._inflight,
+                "submitted": self.submitted,
+                "installed": self.installed,
+                "discarded": self.discarded,
+                "failed": self.failed,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<CompileQueue {self.name} depth={len(self._heap)} "
+                f"installed={self.installed} discarded={self.discarded}>")

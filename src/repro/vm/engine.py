@@ -14,18 +14,32 @@ Execution tiers, per function:
 * ``decoded`` — the pre-decoded closure interpreter (same semantics,
   none of the per-step dispatch cost);
 * ``jit`` — Python-codegen (compile on first call);
-* ``tiered`` — the default mixed mode: start in the decoded interpreter
-  with call/backedge counters and promote to the JIT when the
+* ``tiered`` — mixed mode: start in the decoded interpreter with
+  call/backedge counters and promote to the JIT when the
   :class:`~repro.vm.profile.TierProfiler` thresholds trip, the classic
-  profile-driven tier-up the paper's OSR machinery assumes.
+  profile-driven tier-up the paper's OSR machinery assumes;
+* ``tiered-bg`` — the same promotion policy, but the compile happens on
+  the :class:`~repro.vm.background.CompileQueue` worker pool while the
+  caller keeps running the decoded tier; the finished code is published
+  atomically (generation-stamped, so a racing ``invalidate()`` discards
+  it).  The recommended default for server-style workloads — first hot
+  calls never stall on the JIT (see ``docs/background-compilation.md``).
 
 Tests flip tiers to cross-check semantics.
+
+Thread-safety: the engine may be driven from several threads at once
+(and the background queue's workers always are another thread).  One
+reentrant lock serializes the mutating slow paths — compile-and-install
+in :meth:`get_compiled`, :meth:`invalidate`, handle/global
+materialization and publication — while the per-call hot paths stay
+lock-free dictionary reads.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..analysis.manager import default_manager
 from ..ir import types as T
@@ -40,6 +54,7 @@ from ..ir.values import (
 from ..obs import events as EV
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import ambient as ambient_telemetry
+from .background import CompileJob, CompileQueue, PublishBox
 from .decode import DecodeError, DecodedFunction, decode_function
 from .interpreter import Interpreter, Trap
 from .jit import compile_function
@@ -59,7 +74,26 @@ from .runtime import (
 )
 
 #: valid values for the engine-wide and per-function tier setting
-TIERS = ("jit", "interp", "decoded", "tiered", "speculative")
+TIERS = ("jit", "interp", "decoded", "tiered", "tiered-bg", "speculative")
+
+
+def _mark_thunk(wrapper: Callable, prefix: str, func,
+                wrapped: Optional[Callable] = None) -> Callable:
+    """``functools.wraps``-style identity propagation for engine thunks.
+
+    Every thunk factory routes through here so trace spans, debugger
+    frames and ``inspect.unwrap`` attribute the wrapper to the IR
+    function it fronts: ``__name__`` *and* ``__qualname__`` carry the
+    ``prefix_funcname`` label, and ``__wrapped__`` points at the inner
+    callable when there is one (probes, dispatch targets).
+    """
+    label = f"{prefix}_{func.name}"
+    wrapper.__name__ = label
+    wrapper.__qualname__ = label
+    wrapper.__ir_function__ = func.name
+    if wrapped is not None:
+        wrapper.__wrapped__ = wrapped
+    return wrapper
 
 
 class ObjectTable:
@@ -80,8 +114,19 @@ class ObjectTable:
         self._objects: List[Any] = [None]
         self._ids: Dict[int, int] = {}
         self._engine = engine
+        # share the engine's lock (no ordering hazards between the two);
+        # a free-standing table gets its own
+        self._lock = engine._lock if engine is not None else threading.RLock()
 
     def intern(self, obj: Any) -> int:
+        key = id(obj)
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing
+        with self._lock:
+            return self._intern_locked(obj)
+
+    def _intern_locked(self, obj: Any) -> int:
         key = id(obj)
         existing = self._ids.get(key)
         if existing is not None:
@@ -120,11 +165,17 @@ class ExecutionEngine:
                  interp_step_limit: Optional[int] = None,
                  call_threshold: int = DEFAULT_CALL_THRESHOLD,
                  backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
-                 telemetry=None, analysis_manager=None):
+                 telemetry=None, analysis_manager=None,
+                 compile_queue: Optional[CompileQueue] = None):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
         self.tier = tier
+        #: serializes the mutating slow paths (compile/install/invalidate
+        #: /publication); reentrant because instantiation re-enters the
+        #: engine's resolution APIs.  Created before the object table,
+        #: which shares it for intern publication.
+        self._lock = threading.RLock()
         self.object_table = ObjectTable(self)
         self.stdout = OutputBuffer()
         self._compiled: Dict[str, Callable] = {}
@@ -132,6 +183,16 @@ class ExecutionEngine:
         self._natives: Dict[str, NativeHandle] = {}
         self._globals: Dict[str, tuple] = {}
         self._decoded: Dict[str, DecodedFunction] = {}
+        #: per-function compile generation, bumped by :meth:`invalidate`;
+        #: the background publish protocol's staleness stamp
+        self._generations: Dict[str, int] = {}
+        #: namespaces patched by lazy trampolines (function name ->
+        #: [(namespace, slot)]), re-pointed on invalidation so no caller
+        #: keeps a direct reference to dropped code
+        self._patched: Dict[str, List[Tuple[dict, str]]] = {}
+        #: the background compile queue (``tiered-bg``); shared when
+        #: passed in, else created lazily by :meth:`_ensure_bg_queue`
+        self._bg_queue = compile_queue
         self._interp_step_limit = interp_step_limit
         #: per-function tier overrides (function name -> tier)
         self._tier_overrides: Dict[str, str] = {}
@@ -281,14 +342,20 @@ class ExecutionEngine:
         existing = self._globals.get(gv.name)
         if existing is not None:
             return existing
-        size = T.size_of(gv.value_type)
-        buf = MemoryBuffer(size, f"global.{gv.name}")
-        pointer = (buf, 0)
-        self._globals[gv.name] = pointer
-        init = gv.initializer
-        if init is not None:
-            self._init_global(gv.value_type, pointer, init)
-        return pointer
+        with self._lock:
+            existing = self._globals.get(gv.name)
+            if existing is not None:
+                return existing
+            size = T.size_of(gv.value_type)
+            buf = MemoryBuffer(size, f"global.{gv.name}")
+            pointer = (buf, 0)
+            init = gv.initializer
+            if init is not None:
+                self._init_global(gv.value_type, pointer, init)
+            # publish only after initialization so a concurrent reader
+            # never observes half-initialized storage
+            self._globals[gv.name] = pointer
+            return pointer
 
     def _init_global(self, ty: T.Type, pointer: tuple, init) -> None:
         buf, off = pointer
@@ -310,8 +377,11 @@ class ExecutionEngine:
         """The runtime value of taking ``func``'s address."""
         handle = self._handles.get(func.name)
         if handle is None or handle.function is not func:
-            handle = FunctionHandle(self, func)
-            self._handles[func.name] = handle
+            with self._lock:
+                handle = self._handles.get(func.name)
+                if handle is None or handle.function is not func:
+                    handle = FunctionHandle(self, func)
+                    self._handles[func.name] = handle
         return handle
 
     def get_compiled(self, func: Function) -> Callable:
@@ -319,6 +389,14 @@ class ExecutionEngine:
         cached = self._compiled.get(func.name)
         if cached is not None:
             return cached
+        with self._lock:
+            cached = self._compiled.get(func.name)
+            if cached is not None:
+                return cached
+            return self._compile_and_install(func)
+
+    def _compile_and_install(self, func: Function) -> Callable:
+        # slow path; the caller holds the engine lock
         if func.is_declaration:
             native = self._natives.get(func.name)
             if native is None:
@@ -334,26 +412,36 @@ class ExecutionEngine:
             compiled = self._make_decoded_thunk(func)
         elif tier == "speculative":
             compiled = self._make_speculative_dispatcher(func)
+        elif tier == "tiered-bg":
+            compiled = self._make_background_dispatcher(func)
         else:  # tiered
             compiled = self._make_tiered_dispatcher(func)
-        tel = self.telemetry
-        if tel.enabled and func.attributes.get("osr.entrypoint") == "resolved":
+        if func.attributes.get("osr.entrypoint") == "resolved":
             # resolved-OSR continuations are entered straight from the osr
-            # block's tail call; interpose so the transfer is observable
-            compiled = self._osr_fire_probe(func, compiled, tel)
+            # block's tail call; interpose so the transfer is observable.
+            # Installed unconditionally: whether an event is emitted is
+            # decided per *fire*, so tracing enabled after warm-up still
+            # observes the transfer (the probe used to bake the compile-
+            # time ``tel.enabled`` into the decision and silently dropped
+            # every post-warmup fire).
+            compiled = self._osr_fire_probe(func, compiled)
         self.metrics.inc("engine.compile")
         self._compiled[func.name] = compiled
         return compiled
 
-    @staticmethod
-    def _osr_fire_probe(func: Function, compiled: Callable,
-                        tel) -> Callable:
+    def _osr_fire_probe(self, func: Function, compiled: Callable) -> Callable:
+        engine = self
+
         def fired(*args):
-            tel.event(EV.OSR_FIRE, kind="resolved", continuation=func.name)
+            tel = engine.telemetry
+            if tel.enabled:
+                tel.event(EV.OSR_FIRE, kind="resolved",
+                          continuation=func.name)
+            else:
+                engine.metrics.inc(EV.OSR_FIRE)
             return compiled(*args)
 
-        fired.__name__ = f"osrfire_{func.name}"
-        return fired
+        return _mark_thunk(fired, "osrfire", func, wrapped=compiled)
 
     def _make_interp_thunk(self, func: Function) -> Callable:
         engine = self
@@ -362,8 +450,7 @@ class ExecutionEngine:
             interp = Interpreter(engine, step_limit=engine._interp_step_limit)
             return interp.run_function(func, list(args))
 
-        run.__name__ = f"interp_{func.name}"
-        return run
+        return _mark_thunk(run, "interp", func)
 
     def _make_decoded_thunk(self, func: Function, profile=None
                             ) -> Callable:
@@ -372,19 +459,27 @@ class ExecutionEngine:
         Functions the decoder cannot lower fall back to the tree-walker
         (counted in ``decode_fallbacks``).  Like the JIT tier, the
         decoded form is a snapshot of the current body: rewrite the IR
-        and call :meth:`invalidate` to re-decode.
+        and call :meth:`invalidate` to re-decode.  The per-engine
+        ``_decoded`` cache is consulted first (version-checked), so the
+        tiered dispatchers and a pinned ``decoded`` tier share one
+        decode of the same body instead of re-decoding per thunk.
         """
-        try:
-            decoded = decode_function(func, self)
-        except DecodeError as error:
-            tel = self.telemetry
-            if tel.enabled:
-                tel.event(EV.DECODE_BAILOUT, function=func.name,
-                          reason=str(error))
-            else:
-                self.metrics.inc(EV.DECODE_BAILOUT)
-            return self._make_interp_thunk(func)
-        self._decoded[func.name] = decoded
+        decoded = self._decoded.get(func.name)
+        if (decoded is None or decoded.func is not func
+                or decoded.version != func.code_version):
+            try:
+                decoded = decode_function(func, self)
+            except DecodeError as error:
+                # drop any stale cached decode so nothing can revive it
+                self._decoded.pop(func.name, None)
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.event(EV.DECODE_BAILOUT, function=func.name,
+                              reason=str(error))
+                else:
+                    self.metrics.inc(EV.DECODE_BAILOUT)
+                return self._make_interp_thunk(func)
+            self._decoded[func.name] = decoded
         limit = self._interp_step_limit
         if profile is None and limit is None:
             run = decoded.run
@@ -392,14 +487,12 @@ class ExecutionEngine:
             def run_fast(*args):
                 return run(args)
 
-            run_fast.__name__ = f"decoded_{func.name}"
-            return run_fast
+            return _mark_thunk(run_fast, "decoded", func, wrapped=run)
 
         def run_counted(*args):
             return decoded.run_counted(args, limit, profile)
 
-        run_counted.__name__ = f"decoded_{func.name}"
-        return run_counted
+        return _mark_thunk(run_counted, "decoded", func)
 
     def _make_tiered_dispatcher(self, func: Function) -> Callable:
         """Mixed-mode executable: decoded interpreter with hotness
@@ -423,33 +516,146 @@ class ExecutionEngine:
                 return promoted(*args)
             profile.calls += 1
             if profiler.should_promote(profile):
-                tel = engine.telemetry
-                if tel.enabled:
-                    call_hot = profile.calls >= profiler.call_threshold
-                    tel.event(
-                        EV.PROFILE_CALL_HOT if call_hot
-                        else EV.PROFILE_BACKEDGE_HOT,
-                        function=func.name, calls=profile.calls,
-                        backedges=profile.backedges,
-                    )
-                promoted = compile_function(func, engine)
+                promoted = engine._promote_inline(func, profile)
                 promoted_box[0] = promoted
-                profile.promoted_version = func.code_version
-                if tel.enabled:
-                    tel.event(EV.TIER_PROMOTE, function=func.name,
-                              code_version=func.code_version,
-                              calls=profile.calls,
-                              backedges=profile.backedges)
-                else:
-                    engine.metrics.inc(EV.TIER_PROMOTE)
-                handle = engine._handles.get(func.name)
-                if handle is not None:
-                    handle.invalidate()
                 return promoted(*args)
             return baseline(*args)
 
-        dispatch.__name__ = f"tiered_{func.name}"
-        return dispatch
+        return _mark_thunk(dispatch, "tiered", func)
+
+    def _promote_inline(self, func: Function, profile) -> Callable:
+        """Threshold tripped: compile now, on the calling thread, and
+        record the promotion (telemetry, profile stamp, handle redirect).
+        Shared by the ``tiered`` and ``speculative`` dispatchers; the
+        ``tiered-bg`` tier routes through the compile queue instead."""
+        self._emit_hot_event(func, profile)
+        promoted = compile_function(func, self)
+        profile.promoted_version = func.code_version
+        self._record_promotion(func, profile)
+        return promoted
+
+    def _emit_hot_event(self, func: Function, profile) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            call_hot = profile.calls >= self.profiler.call_threshold
+            tel.event(
+                EV.PROFILE_CALL_HOT if call_hot else EV.PROFILE_BACKEDGE_HOT,
+                function=func.name, calls=profile.calls,
+                backedges=profile.backedges,
+            )
+
+    def _record_promotion(self, func: Function, profile) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(EV.TIER_PROMOTE, function=func.name,
+                      code_version=func.code_version,
+                      calls=profile.calls, backedges=profile.backedges)
+        else:
+            self.metrics.inc(EV.TIER_PROMOTE)
+        handle = self._handles.get(func.name)
+        if handle is not None:
+            handle.invalidate()
+
+    def _make_background_dispatcher(self, func: Function) -> Callable:
+        """The ``tiered-bg`` tier: the tiered promotion policy with the
+        compile moved off the calling thread.
+
+        The dispatcher never blocks on the JIT.  When a threshold trips
+        it submits a :class:`CompileJob` (priority = current hotness) to
+        the background queue and keeps executing the decoded tier; a
+        worker publishes the compiled callable into ``box`` under the
+        engine lock — generation-checked, so a publish racing
+        :meth:`invalidate` is discarded — and the *next* call dispatches
+        to it.  Invalidation replaces the whole dispatcher, so the
+        rewritten body starts over with a fresh box and fresh counters.
+        """
+        engine = self
+        profiler = self.profiler
+        profile = profiler.profile_for(func.name)
+        baseline = self._make_decoded_thunk(func, profile=profile)
+        box = PublishBox(self.compile_generation(func.name))
+        submitted = [False]
+
+        def dispatch(*args):
+            promoted = box.value
+            if promoted is not None:
+                return promoted(*args)
+            profile.calls += 1
+            if (not submitted[0] and not box.failed
+                    and profiler.should_promote(profile)):
+                # benign race: two threads may both pass the flag check;
+                # the queue's pending-set dedups the second submit
+                submitted[0] = True
+                engine._submit_background(func, profile, box)
+            return baseline(*args)
+
+        return _mark_thunk(dispatch, "tieredbg", func)
+
+    def _submit_background(self, func: Function, profile,
+                           box: PublishBox) -> None:
+        """Queue a non-blocking tier-up compile for ``func``."""
+        self._emit_hot_event(func, profile)
+        self._ensure_bg_queue().submit(self, func, box,
+                                       priority=profile.hotness())
+
+    def _publish_background(self, job: CompileJob, artifact) -> bool:
+        """Atomically install a background worker's compile result.
+
+        Returns False — the worker then discards — unless, under the
+        engine lock, the job's generation stamp still matches the
+        function's compile generation (no :meth:`invalidate` landed
+        between submit and publish) *and* the artifact still matches the
+        live body.  The publish itself is the single assignment of
+        ``job.box.value``.
+        """
+        func = job.func
+        box = job.box
+        with self._lock:
+            if (job.cancelled
+                    or self.compile_generation(func.name) != box.generation
+                    or not artifact.matches(func)
+                    or box.value is not None):
+                return False
+            compiled = artifact.instantiate(self)
+            profile = self.profiler.profile_for(func.name)
+            profile.promoted_version = func.code_version
+            box.value = compiled  # the atomic publish
+            self._record_promotion(func, profile)
+            return True
+
+    def compile_generation(self, name: str) -> int:
+        """Per-function compile generation: bumped by :meth:`invalidate`,
+        stamped into :class:`PublishBox` at dispatcher creation, and
+        re-checked (under the engine lock) before a background publish."""
+        return self._generations.get(name, 0)
+
+    def _ensure_bg_queue(self) -> CompileQueue:
+        queue = self._bg_queue
+        if queue is None:
+            with self._lock:
+                queue = self._bg_queue
+                if queue is None:
+                    queue = CompileQueue()
+                    self._bg_queue = queue
+        return queue
+
+    @property
+    def background_queue(self) -> Optional[CompileQueue]:
+        """The attached compile queue, or None if never used."""
+        return self._bg_queue
+
+    def drain_background(self, timeout: Optional[float] = None) -> bool:
+        """Block until the background queue is idle (no queued or
+        in-flight compiles).  Engines with no queue are trivially idle.
+        Returns False only on timeout."""
+        if self._bg_queue is None:
+            return True
+        return self._bg_queue.drain(timeout)
+
+    def shutdown_background(self, wait: bool = True) -> None:
+        """Stop the background workers (idempotent, queue optional)."""
+        if self._bg_queue is not None:
+            self._bg_queue.shutdown(wait=wait)
 
     # -- speculation --------------------------------------------------------------
 
@@ -524,33 +730,12 @@ class ExecutionEngine:
             profile.calls += 1
             profile.record_args(args)
             if profiler.should_promote(profile):
-                tel = engine.telemetry
-                if tel.enabled:
-                    call_hot = profile.calls >= profiler.call_threshold
-                    tel.event(
-                        EV.PROFILE_CALL_HOT if call_hot
-                        else EV.PROFILE_BACKEDGE_HOT,
-                        function=func.name, calls=profile.calls,
-                        backedges=profile.backedges,
-                    )
-                promoted = compile_function(func, engine)
+                promoted = engine._promote_inline(func, profile)
                 promoted_box[0] = promoted
-                profile.promoted_version = func.code_version
-                if tel.enabled:
-                    tel.event(EV.TIER_PROMOTE, function=func.name,
-                              code_version=func.code_version,
-                              calls=profile.calls,
-                              backedges=profile.backedges)
-                else:
-                    engine.metrics.inc(EV.TIER_PROMOTE)
-                handle = engine._handles.get(func.name)
-                if handle is not None:
-                    handle.invalidate()
                 return promoted(*args)
             return baseline(*args)
 
-        dispatch.__name__ = f"speculative_{func.name}"
-        return dispatch
+        return _mark_thunk(dispatch, "speculative", func)
 
     def set_tier(self, func: Function, tier: str) -> None:
         """Pin one function to a tier (mixed-mode execution).
@@ -575,37 +760,60 @@ class ExecutionEngine:
         demotes the function's :class:`FunctionProfile` (call/backedge
         counters reset) so the rewritten body re-earns its promotion
         instead of instantly re-tiering on stale counters.
+
+        Runs under the engine lock and sweeps *every* per-function cache:
+        the compiled map, the decoded cache, the profiler, trampoline-
+        patched caller namespaces, background compile state (generation
+        bump + queue discard, so an in-flight compile of the old body can
+        never install), the function handle, dependent specializations,
+        and the speculation manager.
         """
-        # the version bump routes through the analysis manager so cached
-        # liveness/domtree/loop results retire with the compiled code
-        self.analysis.invalidate(func)
-        self._compiled.pop(func.name, None)
-        self._decoded.pop(func.name, None)
-        tel = self.telemetry
-        if tel.enabled:
-            tel.event(EV.ENGINE_INVALIDATE, function=func.name,
-                      code_version=func.code_version)
-            profile = self.profiler._profiles.get(func.name)
-            if profile is not None and profile.promoted:
-                tel.event(EV.TIER_DEMOTE, function=func.name,
-                          calls=profile.calls, backedges=profile.backedges)
-        self.profiler.invalidate(func.name)
-        handle = self._handles.get(func.name)
-        if handle is not None:
-            handle.function = func
-            handle.invalidate()
-        # cascade to dependent compiled versions (guarded specializations)
-        dependents = self._invalidation_deps.pop(func.name, None)
-        if dependents:
-            for dependent in dependents:
-                if tel.enabled:
-                    tel.event(EV.DEOPT_INVALIDATE, function=func.name,
-                              dependent=dependent.name)
-                else:
-                    self.metrics.inc(EV.DEOPT_INVALIDATE)
-                self.invalidate(dependent)
-        if self.spec_manager is not None:
-            self.spec_manager.on_invalidate(func)
+        with self._lock:
+            # stamp first: any in-flight background compile of the old
+            # body becomes unpublishable before anything else is swept
+            self._generations[func.name] = (
+                self.compile_generation(func.name) + 1)
+            if self._bg_queue is not None:
+                self._bg_queue.discard(self, func.name)
+            # the version bump routes through the analysis manager so
+            # cached liveness/domtree/loop results retire with the code
+            self.analysis.invalidate(func)
+            self._compiled.pop(func.name, None)
+            self._decoded.pop(func.name, None)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.event(EV.ENGINE_INVALIDATE, function=func.name,
+                          code_version=func.code_version)
+                profile = self.profiler._profiles.get(func.name)
+                if profile is not None and profile.promoted:
+                    tel.event(EV.TIER_DEMOTE, function=func.name,
+                              calls=profile.calls,
+                              backedges=profile.backedges)
+            self.profiler.invalidate(func.name)
+            handle = self._handles.get(func.name)
+            if handle is not None:
+                handle.function = func
+                handle.invalidate()
+            # repair namespaces direct-patched by lazy trampolines: point
+            # the slot back at a fresh trampoline, otherwise those call
+            # sites would keep invoking the dropped compiled body forever
+            patched = self._patched.pop(func.name, None)
+            if patched:
+                for namespace, slot in patched:
+                    namespace[slot] = self.lazy_trampoline(
+                        func, namespace, slot)
+            # cascade to dependent compiled versions (specializations)
+            dependents = self._invalidation_deps.pop(func.name, None)
+            if dependents:
+                for dependent in dependents:
+                    if tel.enabled:
+                        tel.event(EV.DEOPT_INVALIDATE, function=func.name,
+                                  dependent=dependent.name)
+                    else:
+                        self.metrics.inc(EV.DEOPT_INVALIDATE)
+                    self.invalidate(dependent)
+            if self.spec_manager is not None:
+                self.spec_manager.on_invalidate(func)
 
     def lazy_trampoline(self, func: Function, namespace: Dict[str, Any],
                         slot: str) -> Callable:
@@ -616,13 +824,20 @@ class ExecutionEngine:
 
         def trampoline(*args):
             compiled = engine.get_compiled(func)
-            # only patch if the function has not been redirected since
-            if engine._compiled.get(func.name) is compiled:
-                namespace[slot] = compiled
+            with engine._lock:
+                # only patch if the function has not been redirected
+                # since; record the patched slot so invalidate() can
+                # repair it (else the caller would keep a direct
+                # reference to the dropped code forever)
+                if engine._compiled.get(func.name) is compiled:
+                    namespace[slot] = compiled
+                    entries = engine._patched.setdefault(func.name, [])
+                    if not any(ns is namespace and sl == slot
+                               for ns, sl in entries):
+                        entries.append((namespace, slot))
             return compiled(*args)
 
-        trampoline.__name__ = f"trampoline_{func.name}"
-        return trampoline
+        return _mark_thunk(trampoline, "trampoline", func)
 
     # -- calling in ------------------------------------------------------------------------
 
@@ -655,6 +870,8 @@ class ExecutionEngine:
         snapshot["analysis"] = self.analysis.stats()
         if self.spec_manager is not None:
             snapshot["speculation"] = self.spec_manager.stats()
+        if self._bg_queue is not None:
+            snapshot["background"] = self._bg_queue.stats()
         return snapshot
 
     def tier_stats(self) -> Dict[str, Any]:

@@ -32,6 +32,16 @@ Two hot-path lowerings beyond the naive dispatch loop:
 * a block with exactly one incoming edge is *chained*: its body is
   emitted inline at its unique branch site instead of bouncing through
   the dispatch loop, so straight-line IR runs without ``_b`` traffic.
+
+Compilation is *engine-read-only*: :class:`FunctionCompiler` never
+touches the engine at all (resources become binding descriptors), and
+:meth:`CompiledCode.instantiate` only calls the engine's resolution
+APIs (``handle_for``, ``global_pointer``, object-table lookups), which
+the engine serializes internally.  That is what lets the background
+compile queue run :func:`codegen_function` on a worker thread while the
+caller keeps executing the decoded tier.  A module-level lock
+serializes concurrent codegen of the same function so the per-function
+artifact cache is published atomically.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from __future__ import annotations
 import math
 import re
 import struct
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..ir import types as T
@@ -769,13 +780,23 @@ class FunctionCompiler:
         raise JITError(f"cannot lower cast {op}")
 
 
+#: serializes cold codegen across threads: the background queue's
+#: workers and the main thread may race to compile, and ``assign_names``
+#: + the ``_cached_code`` publication must not interleave
+_codegen_lock = threading.Lock()
+
+
 def codegen_function(func: Function) -> CompiledCode:
     """Generate (or fetch from the function's cache) the compiled artifact."""
     cached = func._cached_code
     if cached is not None and cached.matches(func):
         return cached
-    artifact = FunctionCompiler(func).compile()
-    func._cached_code = artifact
+    with _codegen_lock:
+        cached = func._cached_code  # a racing thread may have finished
+        if cached is not None and cached.matches(func):
+            return cached
+        artifact = FunctionCompiler(func).compile()
+        func._cached_code = artifact
     return artifact
 
 

@@ -9,6 +9,16 @@ The counters are deliberately cheap: one call increment per invocation
 (charged by the engine's tiered dispatcher) and one backedge increment per
 loop iteration (charged by :meth:`DecodedFunction.run_counted`).  A
 function is promoted when either counter crosses its threshold.
+
+Counters are *race-tolerant* rather than locked: profiles are hints, not
+ledgers.  Concurrent ``calls += 1`` from two threads may lose an
+increment under the GIL's read-modify-write window — the only
+consequence is a slightly later promotion.  Structure growth
+(``record_args`` lazily appending feedback slots) is append-only, so a
+racing over-append leaves harmless extra slots; nothing is ever torn.
+The one operation that must not interleave with increments is
+:meth:`demote`, which swaps whole fields (never mutates in place) so a
+concurrent reader sees either the old or the reset profile.
 """
 
 from __future__ import annotations
@@ -102,8 +112,19 @@ class FunctionProfile:
     def promoted(self) -> bool:
         return self.promoted_version is not None
 
+    def hotness(self) -> int:
+        """A single scalar ordering functions by how hot they are —
+        the background compile queue's priority key.  Backedges are
+        scaled so one loop-hot function outranks one merely call-hot."""
+        return (self.calls * DEFAULT_BACKEDGE_THRESHOLD
+                + self.backedges * DEFAULT_CALL_THRESHOLD)
+
     def demote(self) -> None:
-        """Forget a promotion (the function body was rewritten)."""
+        """Forget a promotion (the function body was rewritten).
+
+        Fields are *replaced*, not mutated in place, so a thread racing
+        this reset observes a consistent before-or-after profile.
+        """
         self.promoted_version = None
         self.calls = 0
         self.backedges = 0
@@ -133,8 +154,10 @@ class TierProfiler:
     def profile_for(self, name: str) -> FunctionProfile:
         profile = self._profiles.get(name)
         if profile is None:
-            profile = FunctionProfile(name)
-            self._profiles[name] = profile
+            # setdefault is atomic under the GIL: two threads racing the
+            # first lookup agree on one FunctionProfile instead of each
+            # counting into a private loser copy
+            profile = self._profiles.setdefault(name, FunctionProfile(name))
         return profile
 
     def should_promote(self, profile: FunctionProfile) -> bool:

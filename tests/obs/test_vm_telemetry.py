@@ -113,6 +113,31 @@ class TestEngineStreams:
         assert tel.metrics.counter(events.OSR_FIRE) == len(fires) == 1
         assert tel.metrics.timer_stats(events.OSR_INSERT)["count"] == 1
 
+    def test_osr_fire_visible_when_tracing_enabled_after_warmup(self):
+        """Regression: the fire probe used to be installed only when
+        telemetry was enabled at *compile* time, so enabling tracing
+        after the continuation was warm silently dropped every fire.
+        The probe is now unconditional and checks ``tel.enabled`` per
+        fire."""
+        engine, module = _tiered()  # ambient telemetry: disabled
+        func = module.get_function("sumto")
+        loop = func.get_block("loop")
+        insert_resolved_osr_point(
+            func, loop.instructions[loop.first_non_phi_index],
+            HotCounterCondition(3), engine=engine,
+        )
+        # warm up with tracing off: the fire happens and is still
+        # accounted (metrics counter), just not traced
+        assert engine.run("sumto", 50) == sum(range(51))
+        assert engine.metrics.counter(events.OSR_FIRE) == 1
+        # now enable tracing on the warm engine — no recompile
+        tel = Telemetry()
+        engine.telemetry = tel
+        assert engine.run("sumto", 50) == sum(range(51))
+        fires = [e for e in tel.events if e["name"] == events.OSR_FIRE]
+        assert len(fires) == 1
+        assert fires[0]["args"]["kind"] == "resolved"
+
     def test_decode_bailout_records_reason(self, monkeypatch):
         from repro.vm import engine as engine_mod
 

@@ -1,13 +1,16 @@
-"""Differential property tests across all three execution tiers.
+"""Differential property tests across all execution tiers.
 
 The tree-walking interpreter is the semantic oracle; the pre-decoded
 closure interpreter and the JIT must agree with it on every generated
 program — results, traps, and (for the decoded tier) step accounting.
 The mixed ``tiered`` mode must agree on both sides of the promotion
-threshold, since a workload may cross it mid-run.
+threshold, since a workload may cross it mid-run, and ``tiered-bg``
+must agree while calls, ``invalidate()`` and background tier-up
+interleave across threads.
 """
 
 import struct
+import threading
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -37,7 +40,7 @@ SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
-ALL_TIERS = ("interp", "decoded", "jit", "tiered")
+ALL_TIERS = ("interp", "decoded", "jit", "tiered", "tiered-bg")
 
 
 def _run_tier(module_text, name, args, tier, **engine_kwargs):
@@ -71,7 +74,7 @@ class TestIntPrograms:
 
         text = print_module(module)
         oracle = _run_tier(text, "prog", args, "interp")
-        for tier in ("decoded", "jit", "tiered"):
+        for tier in ("decoded", "jit", "tiered", "tiered-bg"):
             assert _run_tier(text, "prog", args, tier) == oracle, tier
 
     @SETTINGS
@@ -104,8 +107,60 @@ class TestFloatPrograms:
 
         text = print_module(module)
         oracle = _run_tier(text, "fprog", (a, b), "interp")
-        for tier in ("decoded", "jit", "tiered"):
+        for tier in ("decoded", "jit", "tiered", "tiered-bg"):
             assert _run_tier(text, "fprog", (a, b), tier) == oracle, tier
+
+
+class TestThreadedBackgroundTierUp:
+    """``tiered-bg`` under concurrency: generated programs hammered from
+    several threads while the main thread interleaves ``invalidate()``
+    and the compile queue races to publish — every outcome must match
+    the single-threaded interpreter oracle."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_concurrent_calls_and_invalidation_match_oracle(self, data):
+        spec = data.draw(program_specs())
+        args = data.draw(arguments_for(spec))
+        module = Module("prop")
+        build_program(spec, module, "prog")
+        from repro.ir import print_module
+
+        text = print_module(module)
+        oracle = _run_tier(text, "prog", args, "interp")
+
+        run_module = parse_module(text)
+        engine = ExecutionEngine(run_module, tier="tiered-bg",
+                                 call_threshold=2)
+        func = run_module.get_function("prog")
+        outcomes = []
+        lock = threading.Lock()
+
+        def classify():
+            try:
+                out = ("ok", engine.run("prog", *args))
+            except Trap:
+                out = ("trap", None)
+            except (MemoryError, struct.error):
+                out = ("memfault", None)
+            with lock:
+                outcomes.append(out)
+
+        def worker():
+            for _ in range(4):
+                classify()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        engine.invalidate(func)  # race the in-flight promotion
+        for thread in threads:
+            thread.join(10.0)
+        assert engine.drain_background(10.0)
+        classify()  # the published (or re-decoded) code post-drain
+        engine.shutdown_background()
+        assert set(outcomes) == {oracle}
 
 
 #: hand-written programs that trap (or not) in interesting ways; the

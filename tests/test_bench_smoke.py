@@ -55,6 +55,22 @@ def test_cli_smoke(tmp_path, capsys):
     assert data["cache"], "cache rows implied by tiers are missing"
 
 
+def test_background_smoke_rows():
+    from benchmarks.bench_background import format_background, run_background
+
+    rows = run_background(smoke=True)
+    assert rows
+    for row in rows:
+        assert row.sync_first_hot_s > 0
+        assert row.bg_first_hot_s > 0
+        assert row.sync_steady_s > 0
+        assert row.bg_steady_s > 0
+        # the background engine actually installed from the queue
+        assert row.installed > 0, row
+    json.dumps([row._asdict() for row in rows], default=str)
+    assert "workload" in format_background(rows)
+
+
 def test_analysis_smoke_rows():
     from benchmarks.bench_analysis import format_analysis, run_analysis
 

@@ -236,4 +236,7 @@ done:
         engine.set_tier(point.continuation, "interp")
         assert engine.run("hot", 500) == sum(range(500))
         cont = engine.get_compiled(point.continuation)
-        assert cont.__name__.startswith("interp_")
+        # resolved-OSR entrypoints always carry the fire probe; the tier
+        # thunk it fronts is reachable through __wrapped__
+        assert cont.__name__.startswith("osrfire_")
+        assert cont.__wrapped__.__name__.startswith("interp_")
