@@ -4,7 +4,7 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis trace-smoke
+.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering trace-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -37,6 +37,11 @@ bench-spec:
 # analysis caching: AnalysisManager hit rate and speedup vs recompute
 bench-analysis:
 	$(PP) $(PYTHON) -m benchmarks analysis --json BENCH_analysis.json
+
+# lowering pipeline: AST-direct codegen latency, decoded-tier
+# superinstruction fusion, OSR intrusiveness (Figure 8 analogue)
+bench-lowering:
+	$(PP) $(PYTHON) -m benchmarks lowering --json BENCH_lowering.json
 
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:

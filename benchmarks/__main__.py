@@ -12,7 +12,9 @@ materialization — implied by ``tiers``), ``background`` (non-blocking
 vs synchronous tier-up from ``bench_background.py``), ``spec`` (guarded
 speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
 ``analysis`` (cached vs recompute-always analyses from
-``bench_analysis.py``) and ``q1``–``q4`` (the paper's evaluation
+``bench_analysis.py``), ``lowering`` (AST-direct codegen latency,
+decoded-tier superinstruction fusion and OSR intrusiveness from
+``bench_lowering.py``) and ``q1``–``q4`` (the paper's evaluation
 drivers from :mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
@@ -44,9 +46,17 @@ from .bench_spec_deopt import (
     run_deopt_cost,
     run_spec,
 )
+from .bench_lowering import (
+    format_codegen,
+    format_fusion,
+    format_intrusiveness,
+    run_codegen,
+    run_fusion,
+    run_intrusiveness,
+)
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
-TARGETS = ("tiers", "cache", "background", "spec", "analysis",
+TARGETS = ("tiers", "cache", "background", "spec", "analysis", "lowering",
            "q1", "q2", "q3", "q4")
 
 
@@ -138,6 +148,18 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             print(banner)
             rows = run_analysis(trials=args.trials, smoke=args.smoke)
             print(format_analysis(rows))
+        elif target == "lowering":
+            print("Lowering — codegen latency, fusion and OSR intrusiveness")
+            print(banner)
+            codegen_rows = run_codegen(trials=args.trials, smoke=args.smoke)
+            print(format_codegen(codegen_rows))
+            fusion_rows = run_fusion(trials=args.trials, smoke=args.smoke)
+            print(format_fusion(fusion_rows))
+            intr_rows = run_intrusiveness()
+            print(format_intrusiveness(intr_rows))
+            results["fusion"] = _rows_to_json(fusion_rows)
+            results["intrusiveness"] = _rows_to_json(intr_rows)
+            rows = codegen_rows
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)

@@ -13,10 +13,12 @@ name                      kind   emitted when
 ``tier.demote``           event  an invalidation demotes a promoted function
 ``profile.call_hot``      event  the call counter crossed its threshold
 ``profile.backedge_hot``  event  the loop back-edge counter crossed its threshold
-``jit.compile``           span   cold code generation (source gen + ``compile()``)
+``jit.compile``           span   cold code generation (AST build + ``compile()``)
+``codegen.build``         span   the pure AST-construction + bytecode-compile step
 ``jit.cache_hit``         event  warm materialization from the code cache
 ``jit.cache_miss``        event  the cache had no valid artifact
 ``decode.bailout``        event  the pre-decoder fell back to the tree-walker
+``decode.fuse``           event  the decoder fused superinstructions in a function
 ``osr.insert``            span   an OSR point is inserted (resolved/open/mcosr/feval)
 ``osr.open_stub``         span   an open-OSR stub (Figure 6) is generated
 ``osr.continuation``      span   a continuation function (Figure 7) is generated
@@ -56,9 +58,11 @@ TIER_DEMOTE = "tier.demote"
 PROFILE_CALL_HOT = "profile.call_hot"
 PROFILE_BACKEDGE_HOT = "profile.backedge_hot"
 JIT_COMPILE = "jit.compile"
+CODEGEN_BUILD = "codegen.build"
 JIT_CACHE_HIT = "jit.cache_hit"
 JIT_CACHE_MISS = "jit.cache_miss"
 DECODE_BAILOUT = "decode.bailout"
+DECODE_FUSE = "decode.fuse"
 OSR_INSERT = "osr.insert"
 OSR_OPEN_STUB = "osr.open_stub"
 OSR_CONTINUATION = "osr.continuation"
@@ -98,6 +102,7 @@ INSTANT_NAMES = frozenset({
     JIT_CACHE_HIT,
     JIT_CACHE_MISS,
     DECODE_BAILOUT,
+    DECODE_FUSE,
     OSR_COMPENSATION,
     OSR_FIRE,
     FEVAL_CACHE_HIT,
@@ -120,6 +125,7 @@ INSTANT_NAMES = frozenset({
 #: names emitted as begin/end span pairs
 SPAN_NAMES = frozenset({
     JIT_COMPILE,
+    CODEGEN_BUILD,
     OSR_INSERT,
     OSR_OPEN_STUB,
     OSR_CONTINUATION,

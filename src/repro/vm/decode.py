@@ -21,6 +21,31 @@ The tree-walker remains the semantic oracle: the decoded tier is
 differential-tested against it (``tests/properties``), and any function it
 cannot decode (:class:`DecodeError`) falls back to the tree-walker.
 
+**Superinstruction fusion** (on by default, ``fuse=False`` to disable):
+a decode-time peephole collapses the dominant closure chains into single
+closures, cutting the per-step call overhead that separates the decoded
+tier from the JIT:
+
+* ``icmp``/``fcmp`` + ``br i1`` becomes one compare-and-branch closure
+  (the single hottest pair in loop-heavy code);
+* a pure single-use producer (``load``, ``binop``, ``cmp``, ``cast``,
+  ``gep``, ``select``) feeding the *immediately following* instruction is
+  inlined into its consumer as a value thunk — chains compose, so
+  ``load``+``add``+``icmp``+``br`` can end up as one closure;
+* a phi parallel copy is inlined into its edge's jump closure instead of
+  being a separate nested call.
+
+Fusion is only applied when the producer's one use is the very next
+instruction (or the block terminator), so no other step can observe the
+intermediate slot: traps and side effects keep their exact order, and
+results are bit-identical to the unfused decode (differential-tested).
+Step accounting still charges the *original* instruction count per block,
+so step limits and back-edge profiling — including OSR hot-counter probes
+at fused loop headers — behave identically.  Per-function counts of each
+fusion kind are recorded on :attr:`DecodedFunction.fusion` and surface
+through ``engine.stats_snapshot()["fusion"]`` and the ``decode.fuse``
+telemetry event.
+
 Frame layout::
 
     slot 0             per-invocation alloca list (freed on exit)
@@ -77,7 +102,13 @@ from .jit import (
     _shift_amount,
 )
 from ..transform.constfold import float_to_int
-from .runtime import NULL, MemoryBuffer, gep_offset, scalar_accessors
+from .runtime import (
+    NULL,
+    MemoryBuffer,
+    gep_offset,
+    scalar_accessors,
+    scalar_struct,
+)
 
 _sdiv = _make_sdiv(Trap)
 _srem = _make_srem(Trap)
@@ -110,15 +141,35 @@ class DecodeError(Exception):
     falls back to the tree-walking interpreter."""
 
 
+#: pure, non-void instruction kinds whose value may be deferred into the
+#: next step (their only effect is the value they produce — a trap they
+#: raise moves to the consumer's position, with nothing in between)
+_FUSIBLE_PRODUCERS = (
+    BinaryInst, ICmpInst, FCmpInst, SelectInst, LoadInst, CastInst, GEPInst,
+)
+
+#: consumer kinds whose decoding reads *every* operand through a getter,
+#: so a pending producer thunk is guaranteed to be consumed
+_FUSIBLE_CONSUMERS = (
+    BinaryInst, ICmpInst, FCmpInst, SelectInst, LoadInst, StoreInst,
+    GEPInst, CastInst,
+)
+
+
 class _Decoder:
     """Builds the slot map and per-instruction closures for one function."""
 
-    def __init__(self, func: Function, engine):
+    def __init__(self, func: Function, engine, fuse: bool = True):
         self.func = func
         self.engine = engine
+        self.fuse = fuse
         self._slots: Dict[int, int] = {}
         self._template: List[Any] = [None] * _RESERVED
         self._block_index: Dict[int, int] = {}
+        #: deferred producer thunks, keyed by id(instruction); the
+        #: adjacency rule keeps at most one entry alive at any moment
+        self._pending: Dict[int, Callable] = {}
+        self.stats = {"cmp_br": 0, "op_chain": 0, "phi_copy": 0}
 
     # -- slots -----------------------------------------------------------------
 
@@ -197,16 +248,879 @@ class _Decoder:
 
         decoded_blocks = []
         for block in blocks:
-            steps = tuple(
-                self._decode_instruction(inst)
-                for inst in block.instructions[block.first_non_phi_index:-1]
-            )
-            term = self._decode_terminator(block)
-            decoded_blocks.append((steps, term, len(steps) + 1))
+            insts = block.instructions[block.first_non_phi_index:-1]
+            if self.fuse:
+                steps = self._decode_steps_fused(block, insts)
+                term = self._decode_terminator_fused(block)
+            else:
+                steps = tuple(self._decode_instruction(i) for i in insts)
+                term = self._decode_terminator(block)
+            if self._pending:  # pragma: no cover - adjacency rule violated
+                raise DecodeError(
+                    f"unconsumed fused producer in %{block.name}"
+                )
+            # weight stays the ORIGINAL instruction count: fusion must not
+            # change step-limit accounting or profiling granularity
+            decoded_blocks.append((steps, term, len(insts) + 1))
 
         return DecodedFunction(
             func, tuple(decoded_blocks), tuple(self._template), arg_slots,
+            fusion=self.stats,
         )
+
+    # -- superinstruction fusion -------------------------------------------------
+
+    def _decode_steps_fused(self, block: BasicBlock,
+                            insts) -> Tuple[Callable, ...]:
+        """Decode a block's straight-line steps with the fusion peephole."""
+        steps: List[Callable] = []
+        count = len(insts)
+        for position, inst in enumerate(insts):
+            nxt = (insts[position + 1] if position + 1 < count
+                   else block.terminator)
+            if self._can_fuse(inst, nxt):
+                # defer: the value materializes inside the consumer (the
+                # thunk is built lazily at the consumption site, so the
+                # consumer can pick the flattest closure shape)
+                self._pending[id(inst)] = inst
+                continue
+            if isinstance(inst, _FUSIBLE_CONSUMERS):
+                # every fusible kind goes through the fused builders:
+                # they consume a pending producer when there is one, and
+                # even standalone they emit the flat superinstruction
+                # shapes (inline operand reads, inline memory checks)
+                steps.append(self._decode_consumer_fused(inst))
+            else:
+                steps.append(self._decode_instruction(inst))
+        return tuple(steps)
+
+    def _can_fuse(self, inst: Instruction, nxt) -> bool:
+        """May ``inst``'s value be deferred into ``nxt``?
+
+        Requires: a pure producer kind, exactly one use, and that use is
+        the *immediately following* instruction (or this block's
+        terminator) — adjacency is what makes deferral unobservable.
+        """
+        if inst.type.is_void or not isinstance(inst, _FUSIBLE_PRODUCERS):
+            return False
+        if inst.num_uses != 1:
+            return False
+        users = inst.users
+        if not users or users[0] is not nxt:
+            return False
+        if isinstance(nxt, _FUSIBLE_CONSUMERS):
+            return True
+        if isinstance(nxt, CondBranchInst):
+            return nxt.condition is inst
+        if isinstance(nxt, SwitchInst):
+            return nxt.value is inst
+        if isinstance(nxt, RetInst):
+            return nxt.value is inst
+        return False
+
+    def _operand(self, value: Value) -> Tuple[Optional[Callable], int]:
+        """Resolve an operand for a fused closure: ``(thunk, slot)``.
+
+        When ``value`` is the pending deferred producer, its composed
+        value thunk is returned (slot unused); otherwise the plain frame
+        slot.  Fused closures read slot operands *inline* — the
+        ``thunk is not None`` check is far cheaper than an accessor
+        call, which is what makes fusion a net win.
+        """
+        pending = self._pending.pop(id(value), None)
+        if pending is not None:
+            self.stats["op_chain"] += 1
+            return self._value_thunk(pending), -1
+        return None, self.slot_of(value)
+
+    def _decode_consumer_fused(self, inst: Instruction) -> Callable:
+        """Step closure for a consumer with a pending fused operand.
+
+        Value thunks write their own destination slot (and return the
+        value for nested composition), so a pure consumer's thunk *is*
+        its step closure — no extra wrapper call per step.
+        """
+        if isinstance(inst, StoreInst):
+            return self._store_thunk(inst)
+        return self._value_thunk(inst)
+
+    def _store_thunk(self, inst: StoreInst) -> Callable:
+        pv, v = self._operand(inst.value)
+        pp, p = self._operand(inst.pointer)
+        parts = scalar_struct(inst.value.type)
+        if parts is None:
+            _, store = scalar_accessors(inst.value.type)
+
+            def store_fused(frame):
+                val = pv(frame) if pv is not None else frame[v]
+                store(pp(frame) if pp is not None else frame[p], val)
+
+            return store_fused
+        # fixed-width scalar: inline the bounds check and byte packing
+        # (buf.check re-raises the canonical error on the slow path)
+        size, wrap, _, pack = parts
+        if wrap is not None:
+            bits = inst.value.type.bits
+            mask = (1 << bits) - 1
+            half = 1 << (bits - 1) if bits > 1 else 0
+
+            def store_int_fused(frame):
+                val = pv(frame) if pv is not None else frame[v]
+                buf, off = pp(frame) if pp is not None else frame[p]
+                if buf.freed or off < 0 or off + size > len(buf.data):
+                    buf.check(off, size)
+                pack(buf.data, off, ((val + half) & mask) - half)
+
+            return store_int_fused
+
+        def store_float_fused(frame):
+            val = pv(frame) if pv is not None else frame[v]
+            buf, off = pp(frame) if pp is not None else frame[p]
+            if buf.freed or off < 0 or off + size > len(buf.data):
+                buf.check(off, size)
+            pack(buf.data, off, val)
+
+        return store_float_fused
+
+    def _value_thunk(self, inst: Instruction) -> Callable:
+        """``thunk(frame) -> value``: the instruction's value computation
+        with slot operands read inline and at most one nested fused
+        thunk (the adjacency rule allows a single pending producer).
+
+        Every thunk also writes the instruction's own frame slot — dead
+        for a deferred mid-chain producer, but it keeps the frame
+        byte-for-byte identical to the unfused interpreter's and lets a
+        chain-ending consumer reuse its thunk as the step closure
+        directly.
+        """
+        if isinstance(inst, BinaryInst):
+            return self._binop_thunk(inst)
+        if isinstance(inst, ICmpInst):
+            return self._icmp_thunk(inst)
+        if isinstance(inst, FCmpInst):
+            return self._fcmp_thunk(inst)
+        if isinstance(inst, SelectInst):
+            dst = self.slot_of(inst)
+            pc, c = self._operand(inst.condition)
+            pt, t = self._operand(inst.true_value)
+            pf, f = self._operand(inst.false_value)
+
+            def select_val(frame):
+                # all three operands evaluate eagerly: a fused producer
+                # on the unpicked arm must still trap exactly as the
+                # standalone step would have
+                cv = pc(frame) if pc is not None else frame[c]
+                tv = pt(frame) if pt is not None else frame[t]
+                fv = pf(frame) if pf is not None else frame[f]
+                v = tv if cv else fv
+                frame[dst] = v
+                return v
+
+            return select_val
+        if isinstance(inst, LoadInst):
+            return self._load_thunk(inst)
+        if isinstance(inst, CastInst):
+            return self._cast_thunk(inst)
+        if isinstance(inst, GEPInst):
+            return self._gep_thunk(inst)
+        raise DecodeError(  # pragma: no cover - _can_fuse gates kinds
+            f"cannot fuse {type(inst).__name__}"
+        )
+
+    def _load_thunk(self, inst: LoadInst) -> Callable:
+        dst = self.slot_of(inst)
+        pp, p = self._operand(inst.pointer)
+        parts = scalar_struct(inst.type)
+        if parts is None:
+            load, _ = scalar_accessors(inst.type)
+            if pp is None:
+
+                def load_val(frame):
+                    v = load(frame[p])
+                    frame[dst] = v
+                    return v
+
+                return load_val
+
+            def load_fused_val(frame):
+                v = load(pp(frame))
+                frame[dst] = v
+                return v
+
+            return load_fused_val
+        # fixed-width scalar: inline the bounds check and byte decoding
+        # (buf.check re-raises the canonical error on the slow path)
+        size, wrap, unpack, _ = parts
+        if wrap is not None:
+            bits = inst.type.bits
+            if bits == size * 8:
+                # the signed struct format already yields the canonical
+                # value: wrap() would be an identity, skip it
+
+                def load_int_fused(frame):
+                    buf, off = pp(frame) if pp is not None else frame[p]
+                    if buf.freed or off < 0 or off + size > len(buf.data):
+                        buf.check(off, size)
+                    v = unpack(buf.data, off)[0]
+                    frame[dst] = v
+                    return v
+
+                return load_int_fused
+            mask = (1 << bits) - 1
+            half = 1 << (bits - 1) if bits > 1 else 0
+
+            def load_narrow_fused(frame):
+                buf, off = pp(frame) if pp is not None else frame[p]
+                if buf.freed or off < 0 or off + size > len(buf.data):
+                    buf.check(off, size)
+                v = ((unpack(buf.data, off)[0] + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return load_narrow_fused
+
+        def load_float_fused(frame):
+            buf, off = pp(frame) if pp is not None else frame[p]
+            if buf.freed or off < 0 or off + size > len(buf.data):
+                buf.check(off, size)
+            v = unpack(buf.data, off)[0]
+            frame[dst] = v
+            return v
+
+        return load_float_fused
+
+    def _binop_thunk(self, inst: BinaryInst) -> Callable:
+        # operands are always evaluated lhs-then-rhs *before* any trap
+        # check or guarded arithmetic: a nested fused producer must trap
+        # exactly where its standalone step would have, and its own
+        # exceptions must not be misclassified as the consumer's
+        dst = self.slot_of(inst)
+        pa, a = self._operand(inst.lhs)
+        pb, b = self._operand(inst.rhs)
+        op = inst.opcode
+
+        if isinstance(inst.type, T.FloatType):
+            if op == "fdiv":
+
+                def fdiv_val(frame):
+                    x = pa(frame) if pa is not None else frame[a]
+                    d = pb(frame) if pb is not None else frame[b]
+                    if d == 0.0:
+                        raise Trap("float trap in fdiv")
+                    v = x / d
+                    frame[dst] = v
+                    return v
+
+                return fdiv_val
+            if op == "frem":
+
+                def frem_val(frame):
+                    x = pa(frame) if pa is not None else frame[a]
+                    d = pb(frame) if pb is not None else frame[b]
+                    if d == 0.0:
+                        raise Trap("float trap in frem")
+                    try:
+                        v = _fmod(x, d)
+                    except (OverflowError, ValueError):
+                        raise Trap("float trap in frem") from None
+                    frame[dst] = v
+                    return v
+
+                return frem_val
+            raw = {"fadd": operator.add, "fsub": operator.sub,
+                   "fmul": operator.mul}.get(op)
+            if raw is None:
+                raise DecodeError(f"unknown float binop {op}")
+
+            def fbin_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                try:
+                    v = raw(x, y)
+                except (OverflowError, ValueError):
+                    raise Trap(f"float trap in {op}") from None
+                frame[dst] = v
+                return v
+
+            return fbin_val
+
+        bits = inst.type.bits
+        mask = (1 << bits) - 1
+        half = 1 << (bits - 1) if bits > 1 else 0
+
+        if op == "add":
+            if pa is None and pb is None:
+
+                def add_val(frame):
+                    v = ((frame[a] + frame[b] + half) & mask) - half
+                    frame[dst] = v
+                    return v
+
+                return add_val
+
+            def add_fused_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = ((x + y + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return add_fused_val
+        if op == "sub":
+            if pa is None and pb is None:
+
+                def sub_val(frame):
+                    v = ((frame[a] - frame[b] + half) & mask) - half
+                    frame[dst] = v
+                    return v
+
+                return sub_val
+
+            def sub_fused_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = ((x - y + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return sub_fused_val
+        if op == "mul":
+            if pa is None and pb is None:
+
+                def mul_val(frame):
+                    v = ((frame[a] * frame[b] + half) & mask) - half
+                    frame[dst] = v
+                    return v
+
+                return mul_val
+
+            def mul_fused_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = ((x * y + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return mul_fused_val
+        if op == "sdiv":
+
+            def sdiv_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = ((_sdiv(x, y) + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return sdiv_val
+        if op == "srem":
+
+            def srem_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = ((_srem(x, y) + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return srem_val
+        if op == "udiv":
+
+            def udiv_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                q = (x & mask) // _nonzero(y & mask)
+                v = ((q + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return udiv_val
+        if op == "urem":
+
+            def urem_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                r = (x & mask) % _nonzero(y & mask)
+                v = ((r + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return urem_val
+        if op in ("and", "or", "xor"):
+            raw = {"and": operator.and_, "or": operator.or_,
+                   "xor": operator.xor}[op]
+
+            def bit_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = raw(x & mask, y & mask)
+                v = ((v + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return bit_val
+        if op == "shl":
+
+            def shl_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = (x & mask) << _shift_amount(y, bits)
+                v = ((v + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return shl_val
+        if op == "lshr":
+
+            def lshr_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = (x & mask) >> _shift_amount(y, bits)
+                v = ((v + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return lshr_val
+        if op == "ashr":
+
+            def ashr_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = x >> _shift_amount(y, bits)
+                v = ((v + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return ashr_val
+        raise DecodeError(f"unknown binop {op}")
+
+    def _icmp_thunk(self, inst: ICmpInst) -> Callable:
+        dst = self.slot_of(inst)
+        pa, a = self._operand(inst.lhs)
+        pb, b = self._operand(inst.rhs)
+        pred = inst.predicate
+
+        if inst.lhs.type.is_pointer:
+
+            def ptr_cmp_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = 1 if _pointer_compare(pred, x, y) else 0
+                frame[dst] = v
+                return v
+
+            return ptr_cmp_val
+        cmp = _SIGNED_CMP.get(pred)
+        if cmp is not None:
+            if pa is None and pb is None:
+
+                def scmp_val(frame):
+                    v = 1 if cmp(frame[a], frame[b]) else 0
+                    frame[dst] = v
+                    return v
+
+                return scmp_val
+
+            def scmp_fused_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = 1 if cmp(x, y) else 0
+                frame[dst] = v
+                return v
+
+            return scmp_fused_val
+        mask = (1 << inst.lhs.type.bits) - 1
+        ucmp_op = _UNSIGNED_CMP[pred]
+
+        def ucmp_val(frame):
+            x = pa(frame) if pa is not None else frame[a]
+            y = pb(frame) if pb is not None else frame[b]
+            v = 1 if ucmp_op(x & mask, y & mask) else 0
+            frame[dst] = v
+            return v
+
+        return ucmp_val
+
+    def _fcmp_thunk(self, inst: FCmpInst) -> Callable:
+        dst = self.slot_of(inst)
+        pa, a = self._operand(inst.lhs)
+        pb, b = self._operand(inst.rhs)
+        pred = inst.predicate
+
+        if pred == "ord":
+
+            def ford_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = 0 if (x != x or y != y) else 1
+                frame[dst] = v
+                return v
+
+            return ford_val
+        if pred == "uno":
+
+            def funo_val(frame):
+                x = pa(frame) if pa is not None else frame[a]
+                y = pb(frame) if pb is not None else frame[b]
+                v = 1 if (x != x or y != y) else 0
+                frame[dst] = v
+                return v
+
+            return funo_val
+        cmp = _ORDERED_FCMP[pred]
+
+        def fcmp_val(frame):
+            x = pa(frame) if pa is not None else frame[a]
+            y = pb(frame) if pb is not None else frame[b]
+            v = 0 if (x != x or y != y) else (1 if cmp(x, y) else 0)
+            frame[dst] = v
+            return v
+
+        return fcmp_val
+
+    def _cast_thunk(self, inst: CastInst) -> Callable:
+        dst = self.slot_of(inst)
+        ps, s = self._operand(inst.value)
+        opcode = inst.opcode
+        to_type = inst.type
+        engine = self.engine
+
+        if opcode == "bitcast":
+            if ps is None:
+
+                def bitcast_copy(frame):
+                    v = frame[s]
+                    frame[dst] = v
+                    return v
+
+                return bitcast_copy
+
+            def bitcast_val(frame):
+                v = ps(frame)
+                frame[dst] = v
+                return v
+
+            return bitcast_val
+        # the hot integer casts get dedicated closures; the rest share
+        # one shape over a raw() converter resolved at decode time
+        if opcode in ("trunc", "sext"):
+            bits = to_type.bits
+            mask = (1 << bits) - 1
+            half = 1 << (bits - 1) if bits > 1 else 0
+            if ps is None:
+
+                def wrap_val(frame):
+                    v = ((frame[s] + half) & mask) - half
+                    frame[dst] = v
+                    return v
+
+                return wrap_val
+
+            def wrap_fused_val(frame):
+                v = ((ps(frame) + half) & mask) - half
+                frame[dst] = v
+                return v
+
+            return wrap_fused_val
+        if opcode == "zext":
+            # masking with the *source* width reinterprets as unsigned;
+            # the result always fits the strictly wider target's signed
+            # range, so the target wrap is an identity
+            smask = (1 << inst.value.type.bits) - 1
+            if ps is None:
+
+                def zext_val(frame):
+                    v = frame[s] & smask
+                    frame[dst] = v
+                    return v
+
+                return zext_val
+
+            def zext_fused_val(frame):
+                v = ps(frame) & smask
+                frame[dst] = v
+                return v
+
+            return zext_fused_val
+        if opcode == "inttoptr":
+            raw = engine.object_table.resolve
+        elif opcode == "ptrtoint":
+            raw = engine.object_table.intern
+        elif opcode in ("sitofp", "fpext"):
+            raw = float
+        elif opcode == "uitofp":
+            to_unsigned = inst.value.type.to_unsigned
+
+            def raw(x, _u=to_unsigned):
+                return float(_u(x))
+        elif opcode in ("fptosi", "fptoui"):
+            wrap = to_type.wrap
+
+            def raw(x, _w=wrap):
+                return _w(float_to_int(x))
+        elif opcode == "fptrunc":
+            raw = _f32_round_trip if to_type.bits == 32 else float
+        else:
+            raise DecodeError(f"cannot decode cast {opcode}")
+
+        def cast_val(frame):
+            v = raw(ps(frame) if ps is not None else frame[s])
+            frame[dst] = v
+            return v
+
+        return cast_val
+
+    def _gep_thunk(self, inst: GEPInst) -> Callable:
+        pointee = inst.pointer.type.pointee
+
+        # the same specialization analysis as _decode_gep, but operands
+        # are *collected* first and getters created exactly once after —
+        # a pending thunk must not be popped twice
+        static = 0
+        var_terms: List[Tuple[Value, int]] = []
+        current = pointee
+        specialized = True
+        for position, index in enumerate(inst.indices):
+            if position == 0:
+                stride = T.size_of(pointee)
+            elif isinstance(current, T.ArrayType):
+                stride = T.size_of(current.element)
+                current = current.element
+            elif isinstance(current, T.StructType):
+                if not isinstance(index, ConstantInt):
+                    specialized = False
+                    break
+                static += sum(
+                    T.size_of(f) for f in current.fields[: index.value]
+                )
+                current = current.fields[index.value]
+                continue
+            else:
+                specialized = False
+                break
+            if isinstance(index, ConstantInt):
+                static += index.value * stride
+            else:
+                var_terms.append((index, stride))
+
+        dst = self.slot_of(inst)
+        pp, p = self._operand(inst.pointer)
+        if not specialized:
+            indices = tuple(self._operand(i) for i in inst.indices)
+
+            def gep_generic_val(frame):
+                base = pp(frame) if pp is not None else frame[p]
+                offset = gep_offset(pointee, [
+                    pi(frame) if pi is not None else frame[si]
+                    for pi, si in indices
+                ])
+                v = (base[0], base[1] + offset)
+                frame[dst] = v
+                return v
+
+            return gep_generic_val
+        if not var_terms:
+
+            def gep_const_val(frame):
+                base = pp(frame) if pp is not None else frame[p]
+                v = (base[0], base[1] + static)
+                frame[dst] = v
+                return v
+
+            return gep_const_val
+        if len(var_terms) == 1:
+            (pi, si), stride = self._operand(var_terms[0][0]), var_terms[0][1]
+
+            def gep_one_val(frame):
+                base = pp(frame) if pp is not None else frame[p]
+                i = pi(frame) if pi is not None else frame[si]
+                v = (base[0], base[1] + static + i * stride)
+                frame[dst] = v
+                return v
+
+            return gep_one_val
+        terms = tuple(
+            (self._operand(v), s) for v, s in var_terms
+        )
+
+        def gep_many_val(frame):
+            base = pp(frame) if pp is not None else frame[p]
+            offset = static
+            for (pi, si), stride in terms:
+                offset += (pi(frame) if pi is not None else frame[si]) * stride
+            v = (base[0], base[1] + offset)
+            frame[dst] = v
+            return v
+
+        return gep_many_val
+
+    # -- fused terminators ------------------------------------------------------
+
+    def _edge_jump(self, source: BasicBlock, target_block: BasicBlock
+                   ) -> Tuple[Optional[Callable], int]:
+        """Single closure doing the edge's phi copy *and* the jump.
+
+        Returns ``(jump, target_index)``; ``jump`` is ``None`` when the
+        edge has no phis (the caller inlines the bare index instead).
+        """
+        phis = target_block.phis
+        target = self._block_index[id(target_block)]
+        if not phis:
+            return None, target
+        pairs = [
+            (self.slot_of(phi), self.slot_of(phi.incoming_value_for(source)))
+            for phi in phis
+        ]
+        self.stats["phi_copy"] += 1
+        if len(pairs) == 1:
+            dst, src = pairs[0]
+
+            def jump1(frame):
+                frame[dst] = frame[src]
+                return target
+
+            return jump1, target
+        if len(pairs) == 2:
+            (d0, s0), (d1, s1) = pairs
+
+            def jump2(frame):
+                # simultaneous read, then write (phi semantics)
+                v0 = frame[s0]
+                v1 = frame[s1]
+                frame[d0] = v0
+                frame[d1] = v1
+                return target
+
+            return jump2, target
+        dsts = tuple(d for d, _ in pairs)
+        srcs = tuple(s for _, s in pairs)
+
+        def jumpn(frame):
+            values = [frame[s] for s in srcs]
+            for d, v in zip(dsts, values):
+                frame[d] = v
+            return target
+
+        return jumpn, target
+
+    def _decode_terminator_fused(self, block: BasicBlock) -> Callable:
+        inst = block.terminator
+
+        if isinstance(inst, RetInst):
+            if inst.value is not None:
+                pending = self._pending.pop(id(inst.value), None)
+                if pending is not None:
+                    self.stats["op_chain"] += 1
+                    thunk = self._value_thunk(pending)
+
+                    def ret_fused(frame):
+                        frame[1] = thunk(frame)
+                        return RETURN
+
+                    return ret_fused
+            return self._decode_terminator(block)
+
+        if isinstance(inst, BranchInst):
+            jump, target = self._edge_jump(block, inst.target)
+            if jump is not None:
+                return jump
+            return lambda frame: target
+
+        if isinstance(inst, CondBranchInst):
+            pending = self._pending.pop(id(inst.condition), None)
+            tjump, ttarget = self._edge_jump(block, inst.true_target)
+            fjump, ftarget = self._edge_jump(block, inst.false_target)
+            if pending is not None:
+                if isinstance(pending, (ICmpInst, FCmpInst)):
+                    self.stats["cmp_br"] += 1
+                else:
+                    self.stats["op_chain"] += 1
+                if (isinstance(pending, ICmpInst)
+                        and not pending.lhs.type.is_pointer):
+                    # the headline superinstruction: predicate, phi copy
+                    # and jump in ONE closure — operands come straight
+                    # off the frame (or through at most one nested
+                    # fused thunk), no 0/1 round trip for the flag
+                    pa, a = self._operand(pending.lhs)
+                    pb, b = self._operand(pending.rhs)
+                    cmp = _SIGNED_CMP.get(pending.predicate)
+                    if cmp is not None:
+
+                        def cmp_br_s(frame):
+                            x = pa(frame) if pa is not None else frame[a]
+                            y = pb(frame) if pb is not None else frame[b]
+                            if cmp(x, y):
+                                return (tjump(frame) if tjump is not None
+                                        else ttarget)
+                            return (fjump(frame) if fjump is not None
+                                    else ftarget)
+
+                        return cmp_br_s
+                    mask = (1 << pending.lhs.type.bits) - 1
+                    ucmp = _UNSIGNED_CMP[pending.predicate]
+
+                    def cmp_br_u(frame):
+                        x = pa(frame) if pa is not None else frame[a]
+                        y = pb(frame) if pb is not None else frame[b]
+                        if ucmp(x & mask, y & mask):
+                            return (tjump(frame) if tjump is not None
+                                    else ttarget)
+                        return (fjump(frame) if fjump is not None
+                                else ftarget)
+
+                    return cmp_br_u
+                test = self._value_thunk(pending)
+
+                def cmp_br(frame):
+                    if test(frame):
+                        return tjump(frame) if tjump is not None else ttarget
+                    return fjump(frame) if fjump is not None else ftarget
+
+                return cmp_br
+            cond = self.slot_of(inst.condition)
+            if tjump is None and fjump is None:
+
+                def cbr_plain(frame):
+                    return ttarget if frame[cond] else ftarget
+
+                return cbr_plain
+            if tjump is None:
+
+                def cbr_jump_f(frame):
+                    return ttarget if frame[cond] else fjump(frame)
+
+                return cbr_jump_f
+            if fjump is None:
+
+                def cbr_jump_t(frame):
+                    return tjump(frame) if frame[cond] else ftarget
+
+                return cbr_jump_t
+
+            def cbr_jump(frame):
+                return tjump(frame) if frame[cond] else fjump(frame)
+
+            return cbr_jump
+
+        if isinstance(inst, SwitchInst):
+            pending = self._pending.pop(id(inst.value), None)
+            if pending is None:
+                return self._decode_terminator(block)
+            self.stats["op_chain"] += 1
+            vthunk = self._value_thunk(pending)
+            table: Dict[int, Tuple[Optional[Callable], int]] = {}
+            for const, target in inst.cases:
+                table.setdefault(const.value, self._goto(block, target))
+            default = self._goto(block, inst.default)
+            get = table.get
+
+            def switch_fused(frame):
+                copy, target = get(vthunk(frame), default)
+                if copy is not None:
+                    copy(frame)
+                return target
+
+            return switch_fused
+
+        return self._decode_terminator(block)
 
     # -- phi edges --------------------------------------------------------------
 
@@ -794,12 +1708,17 @@ class DecodedFunction:
     parallel copy and returns the next block index (or :data:`RETURN`),
     and ``weight`` is the number of interpreter steps the block accounts
     for (used by the step limit).
+
+    ``fusion`` holds the per-function superinstruction counts from decode
+    time (``cmp_br``, ``op_chain``, ``phi_copy``), all zero when decoded
+    with ``fuse=False``.
     """
 
     __slots__ = ("func", "name", "blocks", "template", "arg_slots",
-                 "version", "shape")
+                 "version", "shape", "fusion")
 
-    def __init__(self, func: Function, blocks, template, arg_slots):
+    def __init__(self, func: Function, blocks, template, arg_slots,
+                 fusion=None):
         self.func = func
         self.name = func.name
         self.blocks = blocks
@@ -807,6 +1726,9 @@ class DecodedFunction:
         self.arg_slots = arg_slots
         self.version = func.code_version
         self.shape = func.code_shape()
+        self.fusion = dict(fusion) if fusion else {
+            "cmp_br": 0, "op_chain": 0, "phi_copy": 0,
+        }
 
     def _frame(self, args) -> List[Any]:
         if len(args) != len(self.arg_slots):
@@ -873,8 +1795,13 @@ class DecodedFunction:
                 buf.freed = True
 
 
-def decode_function(func: Function, engine) -> DecodedFunction:
+def decode_function(func: Function, engine,
+                    fuse: bool = True) -> DecodedFunction:
     """Decode ``func`` for execution against ``engine``.
+
+    ``fuse=False`` disables the superinstruction peephole (one closure
+    per IR instruction, the pre-fusion behaviour) — used by differential
+    tests and the lowering benchmark's fused-vs-unfused comparison.
 
     Raises :class:`DecodeError` when the function uses a construct the
     decoded tier does not support (or when evaluating a constant operand
@@ -882,6 +1809,6 @@ def decode_function(func: Function, engine) -> DecodedFunction:
     reproduces the trap at the correct execution point.
     """
     try:
-        return _Decoder(func, engine).decode()
+        return _Decoder(func, engine, fuse=fuse).decode()
     except Trap as exc:
         raise DecodeError(f"decode-time trap: {exc}") from exc

@@ -166,11 +166,15 @@ class ExecutionEngine:
                  call_threshold: int = DEFAULT_CALL_THRESHOLD,
                  backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
                  telemetry=None, analysis_manager=None,
-                 compile_queue: Optional[CompileQueue] = None):
+                 compile_queue: Optional[CompileQueue] = None,
+                 decode_fusion: bool = True):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
         self.tier = tier
+        #: superinstruction fusion in the decoded tier (``fuse=`` for
+        #: :func:`decode_function`); off only for A/B comparison runs
+        self.decode_fusion = decode_fusion
         #: serializes the mutating slow paths (compile/install/invalidate
         #: /publication); reentrant because instantiation re-enters the
         #: engine's resolution APIs.  Created before the object table,
@@ -468,7 +472,8 @@ class ExecutionEngine:
         if (decoded is None or decoded.func is not func
                 or decoded.version != func.code_version):
             try:
-                decoded = decode_function(func, self)
+                decoded = decode_function(func, self,
+                                          fuse=self.decode_fusion)
             except DecodeError as error:
                 # drop any stale cached decode so nothing can revive it
                 self._decoded.pop(func.name, None)
@@ -480,6 +485,16 @@ class ExecutionEngine:
                     self.metrics.inc(EV.DECODE_BAILOUT)
                 return self._make_interp_thunk(func)
             self._decoded[func.name] = decoded
+            fusion = decoded.fusion
+            if fusion["cmp_br"] or fusion["op_chain"] or fusion["phi_copy"]:
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.event(EV.DECODE_FUSE, function=func.name,
+                              cmp_br=fusion["cmp_br"],
+                              op_chain=fusion["op_chain"],
+                              phi_copy=fusion["phi_copy"])
+                else:
+                    self.metrics.inc(EV.DECODE_FUSE)
         limit = self._interp_step_limit
         if profile is None and limit is None:
             run = decoded.run
@@ -868,6 +883,10 @@ class ExecutionEngine:
         snapshot = self.metrics.snapshot()
         snapshot["profiles"] = self.profiler.snapshot()
         snapshot["analysis"] = self.analysis.stats()
+        snapshot["fusion"] = {
+            name: dict(decoded.fusion)
+            for name, decoded in list(self._decoded.items())
+        }
         if self.spec_manager is not None:
             snapshot["speculation"] = self.spec_manager.stats()
         if self._bg_queue is not None:

@@ -1,10 +1,17 @@
 """JIT tier: compile IR functions to Python functions.
 
-The MCJIT substitute's "native code" is generated Python source, compiled
-with :func:`compile`/``exec``.  Each IR function becomes one Python
-function whose body is a ``while True`` dispatch loop over basic blocks;
-phi nodes become parallel tuple assignments on the CFG edges; SSA values
-become Python locals.
+The MCJIT substitute's "native code" is generated Python, built as an
+``ast.Module`` and handed straight to :func:`compile` — no intermediate
+source text.  Each IR function becomes one Python function whose body is
+a ``while True`` dispatch loop over basic blocks; phi nodes become
+parallel tuple assignments on the CFG edges; SSA values become Python
+locals.  Debugging source is produced on demand by ``ast.unparse``
+(:meth:`CompiledCode.ir_source`, attached to compiled callables as
+``__ir_source__``), so the steady-state artifact carries bytecode and
+binding descriptors only — codegen skips the old text-assembly +
+re-parse round trip (the OCamlJIT2 lesson: translate directly into the
+target representation), and per-artifact memory drops with the source
+string.
 
 Semantics match the interpreter exactly (two's-complement wrap-around,
 C-style division, byte-addressed memory), which the property-based tests
@@ -15,14 +22,14 @@ callee and patches the compiled module's namespace, reproducing MCJIT's
 compile-on-first-call behaviour.
 
 Code generation is engine-independent and cached.  The compiler emits a
-:class:`CompiledCode` — source, a compiled code object, and *binding
+:class:`CompiledCode` — a compiled code object plus *binding
 descriptors* naming the engine resources each namespace slot needs
 (function handles, globals, the object table, trampolines).  The artifact
 is cached on the :class:`~repro.ir.function.Function` keyed by its
 ``code_version``/``code_shape`` stamp, so continuations, multi-engine
 runs, and repeated warm-up only pay :meth:`CompiledCode.instantiate`
 (descriptor resolution + ``exec`` of the ready code object) instead of a
-full source-generation/``compile()`` pass.
+full AST-build/``compile()`` pass.
 
 Two hot-path lowerings beyond the naive dispatch loop:
 
@@ -42,15 +49,22 @@ compile queue run :func:`codegen_function` on a worker thread while the
 caller keeps executing the decoded tier.  A module-level lock
 serializes concurrent codegen of the same function so the per-function
 artifact cache is published atomically.
+
+Codegen is deterministic: the same IR body always produces a
+byte-identical code object (fresh-name counters are per-compiler), which
+is what makes the ``code_version``/``code_shape`` cache key sound and
+lets :meth:`CompiledCode.ir_source` regenerate the debugging source by
+re-lowering instead of storing it.
 """
 
 from __future__ import annotations
 
+import ast
 import math
 import re
 import struct
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir import types as T
 from ..ir.constexpr import ConstantIntToPtr
@@ -86,6 +100,8 @@ from ..ir.values import (
     UndefValue,
     Value,
 )
+from ..obs import events as EV
+from ..obs.telemetry import ambient as ambient_telemetry
 from ..transform.constfold import float_to_int
 from .interpreter import Trap
 from .runtime import HANDLE_HEAP, NULL, MemoryBuffer, load_scalar, store_scalar
@@ -189,9 +205,92 @@ def _build_static_namespace() -> Dict[str, Any]:
 #: per compile — instantiation copies this dict
 _STATIC_NS = _build_static_namespace()
 
-#: cap on the transitive block-chaining depth (guards generated-source
+#: cap on the transitive block-chaining depth (guards generated-AST
 #: nesting; straight-line ``br`` chains do not add nesting and are cheap)
 _MAX_CHAIN_DEPTH = 40
+
+
+# -- AST node constructors -----------------------------------------------------
+#
+# Context singletons are shared (they carry no state and no locations);
+# every other node is built fresh so no node object appears twice in one
+# tree.
+
+_LOAD = ast.Load()
+_STORE = ast.Store()
+
+
+def _name(ident: str) -> ast.Name:
+    return ast.Name(id=ident, ctx=_LOAD)
+
+
+def _const(value) -> ast.Constant:
+    return ast.Constant(value=value)
+
+
+def _call(func: ast.expr, *args: ast.expr) -> ast.Call:
+    return ast.Call(func=func, args=list(args), keywords=[])
+
+
+def _calln(fname: str, *args: ast.expr) -> ast.Call:
+    return _call(_name(fname), *args)
+
+
+def _assign(target: str, value: ast.expr) -> ast.Assign:
+    return ast.Assign(targets=[ast.Name(id=target, ctx=_STORE)], value=value)
+
+
+def _expr_stmt(value: ast.expr) -> ast.Expr:
+    return ast.Expr(value=value)
+
+
+def _raise_trap(message: str) -> ast.Raise:
+    return ast.Raise(exc=_calln("_Trap", _const(message)), cause=None)
+
+
+def _item(value: ast.expr, index: int) -> ast.Subscript:
+    return ast.Subscript(value=value, slice=_const(index), ctx=_LOAD)
+
+
+def _attr(value: ast.expr, attribute: str) -> ast.Attribute:
+    return ast.Attribute(value=value, attr=attribute, ctx=_LOAD)
+
+
+def _bin(left: ast.expr, op: ast.operator, right: ast.expr) -> ast.BinOp:
+    return ast.BinOp(left=left, op=op, right=right)
+
+
+def _cmp(left: ast.expr, op: ast.cmpop, right: ast.expr) -> ast.Compare:
+    return ast.Compare(left=left, ops=[op], comparators=[right])
+
+
+def _and(*values: ast.expr) -> ast.BoolOp:
+    return ast.BoolOp(op=ast.And(), values=list(values))
+
+
+def _ifexp(test: ast.expr, body: ast.expr, orelse: ast.expr) -> ast.IfExp:
+    return ast.IfExp(test=test, body=body, orelse=orelse)
+
+
+def _bool01(test: ast.expr) -> ast.IfExp:
+    """``1 if test else 0`` — IR i1 results are Python ints."""
+    return _ifexp(test, _const(1), _const(0))
+
+
+def _tuple(*elts: ast.expr) -> ast.Tuple:
+    return ast.Tuple(elts=list(elts), ctx=_LOAD)
+
+
+def _wrap_int(node: ast.expr, bits: int) -> ast.expr:
+    """Two's-complement wrap of ``node`` to ``bits`` (inline mask form)."""
+    if bits == 1:
+        return _bin(node, ast.BitAnd(), _const(1))
+    mask = (1 << bits) - 1
+    half = 1 << (bits - 1)
+    return _bin(
+        _bin(_bin(node, ast.Add(), _const(half)), ast.BitAnd(), _const(mask)),
+        ast.Sub(), _const(half),
+    )
 
 
 class CompiledCode:
@@ -200,19 +299,26 @@ class CompiledCode:
     Cached on ``Function._cached_code``; per-engine callables are minted
     with :meth:`instantiate`, which resolves the binding descriptors
     against that engine and ``exec``'s the pre-compiled code object.
+
+    The artifact stores no source text.  :attr:`source` regenerates it
+    lazily (deterministic re-lower + ``ast.unparse``) and caches the
+    string; it reflects the function body the artifact was compiled
+    from only while :meth:`matches` holds.
     """
 
-    __slots__ = ("source", "code", "py_name", "bindings", "version", "shape")
+    __slots__ = ("code", "py_name", "bindings", "version", "shape",
+                 "_source_hook", "_source")
 
-    def __init__(self, source: str, code, py_name: str,
-                 bindings: Dict[str, Tuple], version: int,
-                 shape: Tuple[int, int]):
-        self.source = source
+    def __init__(self, code, py_name: str, bindings: Dict[str, Tuple],
+                 version: int, shape: Tuple[int, int],
+                 source_hook: Optional[Callable[[], str]] = None):
         self.code = code
         self.py_name = py_name
         self.bindings = bindings
         self.version = version
         self.shape = shape
+        self._source_hook = source_hook
+        self._source: Optional[str] = None
 
     def matches(self, func: Function) -> bool:
         # same body-level stamp the analysis cache validates against
@@ -220,6 +326,20 @@ class CompiledCode:
 
         return (self.version == func.code_version
                 and self.shape == analysis_stamp(func, GRANULARITY_BODY))
+
+    @property
+    def source(self) -> str:
+        """Debugging source, unparsed on first access and cached."""
+        text = self._source
+        if text is None:
+            hook = self._source_hook
+            text = hook() if hook is not None else ""
+            self._source = text
+        return text
+
+    def ir_source(self) -> str:
+        """On-demand debugging source (the ``__ir_source__`` callable)."""
+        return self.source
 
     def instantiate(self, engine):
         """Bind this code to ``engine`` and return the callable."""
@@ -248,7 +368,8 @@ class CompiledCode:
                 raise JITError(f"unknown binding kind {kind!r}")
         exec(self.code, namespace)
         compiled = namespace[self.py_name]
-        compiled.__ir_source__ = self.source
+        compiled.__ir_source__ = self.ir_source
+        compiled.__ir_artifact__ = self
         return compiled
 
 
@@ -257,13 +378,15 @@ class FunctionCompiler:
 
     Code generation never touches the engine: engine resources are
     recorded as binding descriptors and resolved at instantiation time,
-    which is what makes the artifact reusable across engines.
+    which is what makes the artifact reusable across engines.  The
+    lowering builds :mod:`ast` nodes directly; :meth:`build_tree`
+    returns the finished ``ast.Module`` (benchmarks time the tree build
+    and the bytecode ``compile`` separately through it).
     """
 
     def __init__(self, func: Function, engine=None):
         self.func = func
         self.engine = engine  # kept for API compatibility; unused
-        self.lines: List[str] = []
         self.bindings: Dict[str, Tuple] = {}
         self._value_names: Dict[int, str] = {}
         self._name_counter = 0
@@ -295,32 +418,35 @@ class FunctionCompiler:
 
     # -- operand expressions -------------------------------------------------------
 
-    def expr(self, value: Value) -> str:
+    def expr(self, value: Value) -> ast.expr:
         if isinstance(value, ConstantInt):
-            return repr(value.value)
+            return _const(value.value)
         if isinstance(value, ConstantFloat):
             v = value.value
             if v != v:
-                return "_nan"
+                return _name("_nan")
             if v in (float("inf"), float("-inf")):
-                return "_inf" if v > 0 else "(-_inf)"
-            return repr(v)
+                if v > 0:
+                    return _name("_inf")
+                return ast.UnaryOp(op=ast.USub(), operand=_name("_inf"))
+            return _const(v)
         if isinstance(value, ConstantNull):
-            return "_null"
+            return _name("_null")
         if isinstance(value, UndefValue):
             if value.type.is_float:
-                return "0.0"
+                return _const(0.0)
             if value.type.is_pointer:
-                return "_null"
-            return "0"
+                return _name("_null")
+            return _const(0)
         if isinstance(value, ConstantIntToPtr):
-            return self.bind(("resolve", value.value), f"obj{value.value}")
+            return _name(self.bind(("resolve", value.value),
+                                   f"obj{value.value}"))
         if isinstance(value, Function):
-            return self.bind(("handle", value), value.name)
+            return _name(self.bind(("handle", value), value.name))
         if isinstance(value, GlobalVariable):
-            return self.bind(("global", value), value.name)
+            return _name(self.bind(("global", value), value.name))
         if isinstance(value, (Argument, Instruction)):
-            return self.name_of(value)
+            return _name(self.name_of(value))
         raise JITError(f"cannot lower operand {value!r}")
 
     def _objtab(self) -> str:
@@ -330,6 +456,17 @@ class FunctionCompiler:
     # -- top level -----------------------------------------------------------------------
 
     def compile(self) -> CompiledCode:
+        func = self.func
+        tree = self.build_tree()
+        code = compile(tree, f"<jit:@{func.name}>", "exec")
+        return CompiledCode(
+            code, self._py_name(), self.bindings,
+            func.code_version, func.code_shape(),
+            source_hook=_make_source_hook(func),
+        )
+
+    def build_tree(self) -> ast.Module:
+        """Lower the function to a ready-to-``compile`` ``ast.Module``."""
         func = self.func
         if func.is_declaration:
             raise JITError(f"cannot compile declaration @{func.name}")
@@ -343,7 +480,7 @@ class FunctionCompiler:
         # compile bodies before emitting dispatch arms: a chain that hits
         # the depth cap bounces through ``_b``, which forces the bounced-to
         # block (otherwise chained) to keep an arm after all
-        bodies: Dict[int, List[str]] = {}
+        bodies: Dict[int, List[ast.stmt]] = {}
         for block in blocks:
             if id(block) not in self._chained:
                 bodies[id(block)] = self._compile_block(block)
@@ -354,31 +491,36 @@ class FunctionCompiler:
                     bodies[id(block)] = self._compile_block(block)
             pending = self._forced - set(bodies)
 
-        args = ", ".join(self.name_of(a) for a in func.args)
-        self.lines.append(f"def {self._py_name()}({args}):")
-        self.lines.append("    _b = 0")
-        self.lines.append("    while True:")
-        first = True
-        for block in blocks:
+        # the if/elif dispatch chain, innermost (the bad-id trap) out
+        dispatch: List[ast.stmt] = [_raise_trap("bad block id")]
+        for block in reversed(blocks):
             if id(block) not in bodies:
                 continue  # emitted inline at its unique branch site
-            keyword = "if" if first else "elif"
-            first = False
-            self.lines.append(
-                f"        {keyword} _b == {self._block_ids[id(block)]}:"
-                f"  # %{block.name}"
-            )
-            for line in bodies[id(block)]:
-                self.lines.append(f"            {line}")
-        self.lines.append("        else:")
-        self.lines.append("            raise _Trap('bad block id')")
+            dispatch = [ast.If(
+                test=_cmp(_name("_b"), ast.Eq(),
+                          _const(self._block_ids[id(block)])),
+                body=bodies[id(block)],
+                orelse=dispatch,
+            )]
 
-        source = "\n".join(self.lines)
-        code = compile(source, f"<jit:@{func.name}>", "exec")
-        return CompiledCode(
-            source, code, self._py_name(), self.bindings,
-            func.code_version, func.code_shape(),
+        fn = ast.FunctionDef(
+            name=self._py_name(),
+            args=ast.arguments(
+                posonlyargs=[], args=[ast.arg(arg=self.name_of(a))
+                                      for a in func.args],
+                vararg=None, kwonlyargs=[], kw_defaults=[], kwarg=None,
+                defaults=[],
+            ),
+            body=[
+                _assign("_b", _const(0)),
+                ast.While(test=_const(True), body=dispatch, orelse=[]),
+            ],
+            decorator_list=[],
+            returns=None,
         )
+        fn.type_params = []  # required by compile() on 3.12+, ignored before
+        module = ast.Module(body=[fn], type_ignores=[])
+        return ast.fix_missing_locations(module)
 
     def _py_name(self) -> str:
         return "_jit_" + _NAME_RE.sub("_", self.func.name)
@@ -405,36 +547,41 @@ class FunctionCompiler:
 
     # -- blocks -------------------------------------------------------------------------
 
-    def _compile_block(self, block: BasicBlock) -> List[str]:
-        out: List[str] = []
+    def _compile_block(self, block: BasicBlock) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
         instructions = block.instructions
         for inst in instructions[block.first_non_phi_index:]:
             out.extend(self._compile_instruction(inst))
         if not out:
-            out.append("raise _Trap('empty block')")
+            out.append(_raise_trap("empty block"))
         return out
 
-    def _goto(self, source: BasicBlock, target: BasicBlock) -> List[str]:
+    def _goto(self, source: BasicBlock, target: BasicBlock) -> List[ast.stmt]:
         """Edge transfer: parallel phi assignment, then jump.
 
         A target with a single incoming edge is chained: its body is
         emitted right here instead of a ``_b``/``continue`` bounce.
         """
-        out: List[str] = []
+        out: List[ast.stmt] = []
         phis = target.phis
         if phis:
-            names = ", ".join(self.name_of(p) for p in phis)
-            exprs = ", ".join(
-                self.expr(p.incoming_value_for(source)) for p in phis
-            )
-            out.append(f"{names} = {exprs}")
+            values = [self.expr(p.incoming_value_for(source)) for p in phis]
+            if len(phis) == 1:
+                out.append(_assign(self.name_of(phis[0]), values[0]))
+            else:
+                targets = ast.Tuple(
+                    elts=[ast.Name(id=self.name_of(p), ctx=_STORE)
+                          for p in phis],
+                    ctx=_STORE,
+                )
+                out.append(ast.Assign(targets=[targets],
+                                      value=_tuple(*values)))
         target_key = id(target)
         if (
             target_key in self._chained
             and target_key not in self._chain_stack
             and len(self._chain_stack) < _MAX_CHAIN_DEPTH
         ):
-            out.append(f"# chained %{target.name}")
             self._chain_stack.append(target_key)
             try:
                 out.extend(self._compile_block(target))
@@ -445,62 +592,53 @@ class FunctionCompiler:
             # depth-capped (or cyclic) chain: this block needs a real
             # dispatch arm after all
             self._forced.add(target_key)
-        out.append(f"_b = {self._block_ids[target_key]}")
-        out.append("continue")
+        out.append(_assign("_b", _const(self._block_ids[target_key])))
+        out.append(ast.Continue())
         return out
 
     # -- instructions -----------------------------------------------------------------------
 
-    def _compile_instruction(self, inst: Instruction) -> List[str]:
+    def _compile_instruction(self, inst: Instruction) -> List[ast.stmt]:
         name = self.name_of(inst) if not inst.type.is_void else None
         e = self.expr
 
         if isinstance(inst, BinaryInst):
-            return [f"{name} = {self._binop_expr(inst)}"]
+            return [_assign(name, self._binop_expr(inst))]
 
         if isinstance(inst, ICmpInst):
-            return [f"{name} = {self._icmp_expr(inst)}"]
+            return [_assign(name, self._icmp_expr(inst))]
 
         if isinstance(inst, FCmpInst):
-            a, b = e(inst.lhs), e(inst.rhs)
-            ordered = f"({a} == {a} and {b} == {b})"
-            table = {
-                "oeq": f"1 if ({ordered} and {a} == {b}) else 0",
-                "one": f"1 if ({ordered} and {a} != {b}) else 0",
-                "olt": f"1 if ({ordered} and {a} < {b}) else 0",
-                "ole": f"1 if ({ordered} and {a} <= {b}) else 0",
-                "ogt": f"1 if ({ordered} and {a} > {b}) else 0",
-                "oge": f"1 if ({ordered} and {a} >= {b}) else 0",
-                "ord": f"1 if {ordered} else 0",
-                "uno": f"0 if {ordered} else 1",
-            }
-            return [f"{name} = {table[inst.predicate]}"]
+            return [_assign(name, self._fcmp_expr(inst))]
 
         if isinstance(inst, SelectInst):
-            return [
-                f"{name} = {e(inst.true_value)} if {e(inst.condition)} "
-                f"else {e(inst.false_value)}"
-            ]
+            return [_assign(name, _ifexp(
+                e(inst.condition), e(inst.true_value), e(inst.false_value)
+            ))]
 
         if isinstance(inst, AllocaInst):
             size = T.size_of(inst.allocated_type) * inst.count
-            return [
-                f"{name} = (_MemoryBuffer({size}, {inst.name!r}), 0)"
-            ]
+            return [_assign(name, _tuple(
+                _calln("_MemoryBuffer", _const(size), _const(inst.name)),
+                _const(0),
+            ))]
 
         if isinstance(inst, LoadInst):
-            return [f"{name} = {self._load_expr(inst.type, e(inst.pointer))}"]
+            return [_assign(
+                name, self._load_expr(inst.type, lambda: e(inst.pointer))
+            )]
 
         if isinstance(inst, StoreInst):
-            return self._store_lines(
-                inst.value.type, e(inst.value), e(inst.pointer)
+            return self._store_stmts(
+                inst.value.type, lambda: e(inst.value),
+                lambda: e(inst.pointer),
             )
 
         if isinstance(inst, GEPInst):
-            return [f"{name} = {self._gep_expr(inst)}"]
+            return [_assign(name, self._gep_expr(inst))]
 
         if isinstance(inst, CastInst):
-            return [f"{name} = {self._cast_expr(inst)}"]
+            return [_assign(name, self._cast_expr(inst))]
 
         if isinstance(inst, CallInst):
             callee = inst.callee
@@ -510,29 +648,27 @@ class FunctionCompiler:
                 target = self.bind(
                     ("static", callee), getattr(callee, "name", "callee")
                 )
-            args = ", ".join(e(a) for a in inst.args)
-            prefix = f"{name} = " if name else ""
-            return [f"{prefix}{target}({args})"]
+            call = _calln(target, *(e(a) for a in inst.args))
+            return [_assign(name, call) if name else _expr_stmt(call)]
 
         if isinstance(inst, IndirectCallInst):
-            args = ", ".join(e(a) for a in inst.args)
-            prefix = f"{name} = " if name else ""
-            return [f"{prefix}{e(inst.callee)}({args})"]
+            call = _call(e(inst.callee), *(e(a) for a in inst.args))
+            return [_assign(name, call) if name else _expr_stmt(call)]
 
         if isinstance(inst, RetInst):
             if inst.value is None:
-                return ["return None"]
-            return [f"return {e(inst.value)}"]
+                return [ast.Return(value=_const(None))]
+            return [ast.Return(value=e(inst.value))]
 
         if isinstance(inst, BranchInst):
             return self._goto(inst.parent, inst.target)
 
         if isinstance(inst, CondBranchInst):
-            out = [f"if {e(inst.condition)}:"]
-            out.extend(f"    {l}" for l in self._goto(inst.parent, inst.true_target))
-            out.append("else:")
-            out.extend(f"    {l}" for l in self._goto(inst.parent, inst.false_target))
-            return out
+            return [ast.If(
+                test=e(inst.condition),
+                body=self._goto(inst.parent, inst.true_target),
+                orelse=self._goto(inst.parent, inst.false_target),
+            )]
 
         if isinstance(inst, SwitchInst):
             return self._compile_switch(inst)
@@ -541,24 +677,27 @@ class FunctionCompiler:
             # Guard fast path is a single branch; the deopt handler is only
             # bound (and the force predicate only consulted) when needed.
             self.bindings.setdefault("_deopt", ("deopt",))
-            lives = ", ".join(e(v) for v in inst.live_values)
-            cond = e(inst.condition)
+            test: ast.expr = ast.UnaryOp(op=ast.Not(),
+                                         operand=e(inst.condition))
             if inst.forced:
                 self.bindings.setdefault("_gforce", ("deoptforce",))
-                test = f"(not {cond}) or _gforce({inst.guard_id!r})"
-            else:
-                test = f"not {cond}"
-            return [
-                f"if {test}:",
-                f"    return _deopt({inst.guard_id!r}, [{lives}])",
-            ]
+                test = ast.BoolOp(op=ast.Or(), values=[
+                    test, _calln("_gforce", _const(inst.guard_id)),
+                ])
+            lives = ast.List(elts=[e(v) for v in inst.live_values], ctx=_LOAD)
+            return [ast.If(
+                test=test,
+                body=[ast.Return(value=_calln(
+                    "_deopt", _const(inst.guard_id), lives))],
+                orelse=[],
+            )]
 
         if isinstance(inst, UnreachableInst):
-            return ["raise _Trap('reached unreachable')"]
+            return [_raise_trap("reached unreachable")]
 
         raise JITError(f"cannot lower {type(inst).__name__}")
 
-    def _compile_switch(self, inst: SwitchInst) -> List[str]:
+    def _compile_switch(self, inst: SwitchInst) -> List[ast.stmt]:
         # fast path: when every target is a phi-free block with its own
         # dispatch arm, the whole switch is one dict lookup on _b —
         # replacing the O(cases) if/elif scan (the tinyvm opcode-dispatch
@@ -574,24 +713,33 @@ class FunctionCompiler:
             table_name = self.bind(("static", table), "switch_table")
             default_id = self._block_ids[id(inst.default)]
             return [
-                f"_b = {table_name}.get({self.expr(inst.value)}, {default_id})",
-                "continue",
+                _assign("_b", _call(
+                    _attr(_name(table_name), "get"),
+                    self.expr(inst.value), _const(default_id),
+                )),
+                ast.Continue(),
             ]
 
-        out: List[str] = []
+        out: List[ast.stmt] = []
         value_name = self._fresh("switch")
-        out.append(f"{value_name} = {self.expr(inst.value)}")
-        first = True
-        for const, target in inst.cases:
-            kw = "if" if first else "elif"
-            first = False
-            out.append(f"{kw} {value_name} == {const.value}:")
-            out.extend(f"    {l}" for l in self._goto(inst.parent, target))
-        if not first:
-            out.append("else:")
-            out.extend(f"    {l}" for l in self._goto(inst.parent, inst.default))
-        else:
-            out.extend(self._goto(inst.parent, inst.default))
+        out.append(_assign(value_name, self.expr(inst.value)))
+        # sequential if/elif scan; gotos are compiled in case order so
+        # chained-block emission stays deterministic, then nested in
+        # reverse to build the orelse chain
+        arms = [(const.value, self._goto(inst.parent, target))
+                for const, target in inst.cases]
+        default_stmts = self._goto(inst.parent, inst.default)
+        if not arms:
+            out.extend(default_stmts)
+            return out
+        chain: List[ast.stmt] = default_stmts
+        for case_value, body in reversed(arms):
+            chain = [ast.If(
+                test=_cmp(_name(value_name), ast.Eq(), _const(case_value)),
+                body=body,
+                orelse=chain,
+            )]
+        out.extend(chain)
         return out
 
     def _bind_call_target(self, callee: Function) -> str:
@@ -602,182 +750,256 @@ class FunctionCompiler:
 
     # -- expression fragments ------------------------------------------------------------------
 
-    def _binop_expr(self, inst: BinaryInst) -> str:
-        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+    def _binop_expr(self, inst: BinaryInst) -> ast.expr:
+        e = self.expr
+        a, b = e(inst.lhs), e(inst.rhs)
         op = inst.opcode
         if isinstance(inst.type, T.FloatType):
-            table = {
-                "fadd": f"({a} + {b})",
-                "fsub": f"({a} - {b})",
-                "fmul": f"({a} * {b})",
-                "fdiv": f"_fdiv({a}, {b})",
-                "frem": f"_frem({a}, {b})",
-            }
-            return table[op]
+            float_ops = {"fadd": ast.Add, "fsub": ast.Sub, "fmul": ast.Mult}
+            if op in float_ops:
+                return _bin(a, float_ops[op](), b)
+            if op == "fdiv":
+                return _calln("_fdiv", a, b)
+            if op == "frem":
+                return _calln("_frem", a, b)
+            raise JITError(f"unknown binop {op}")
         bits = inst.type.bits
         mask = (1 << bits) - 1
-        half = 1 << (bits - 1) if bits > 1 else 0
 
-        def wrap(expr: str) -> str:
-            if bits == 1:
-                return f"(({expr}) & 1)"
-            return f"((({expr}) + {half} & {mask}) - {half})"
+        def wrap(node: ast.expr) -> ast.expr:
+            return _wrap_int(node, bits)
+
+        def masked(node: ast.expr) -> ast.expr:
+            return _bin(node, ast.BitAnd(), _const(mask))
 
         if op == "add":
-            return wrap(f"{a} + {b}")
+            return wrap(_bin(a, ast.Add(), b))
         if op == "sub":
-            return wrap(f"{a} - {b}")
+            return wrap(_bin(a, ast.Sub(), b))
         if op == "mul":
-            return wrap(f"{a} * {b}")
+            return wrap(_bin(a, ast.Mult(), b))
         if op == "sdiv":
-            return wrap(f"_sdiv({a}, {b})")
+            return wrap(_calln("_sdiv", a, b))
         if op == "srem":
-            return wrap(f"_srem({a}, {b})")
+            return wrap(_calln("_srem", a, b))
         if op == "udiv":
-            return wrap(f"(({a} & {mask}) // _nz({b} & {mask}))")
+            return wrap(_bin(masked(a), ast.FloorDiv(),
+                             _calln("_nz", masked(b))))
         if op == "urem":
-            return wrap(f"(({a} & {mask}) % _nz({b} & {mask}))")
+            return wrap(_bin(masked(a), ast.Mod(), _calln("_nz", masked(b))))
         if op == "and":
-            return wrap(f"({a} & {mask}) & ({b} & {mask})")
+            return wrap(_bin(masked(a), ast.BitAnd(), masked(b)))
         if op == "or":
-            return wrap(f"({a} & {mask}) | ({b} & {mask})")
+            return wrap(_bin(masked(a), ast.BitOr(), masked(b)))
         if op == "xor":
-            return wrap(f"({a} & {mask}) ^ ({b} & {mask})")
+            return wrap(_bin(masked(a), ast.BitXor(), masked(b)))
         if op == "shl":
-            return wrap(f"({a} & {mask}) << _shamt({b}, {bits})")
+            return wrap(_bin(masked(a), ast.LShift(),
+                             _calln("_shamt", b, _const(bits))))
         if op == "lshr":
-            return wrap(f"({a} & {mask}) >> _shamt({b}, {bits})")
+            return wrap(_bin(masked(a), ast.RShift(),
+                             _calln("_shamt", b, _const(bits))))
         if op == "ashr":
-            return wrap(f"{a} >> _shamt({b}, {bits})")
+            return wrap(_bin(a, ast.RShift(),
+                             _calln("_shamt", b, _const(bits))))
         raise JITError(f"unknown binop {op}")
 
-    def _icmp_expr(self, inst: ICmpInst) -> str:
-        a, b = self.expr(inst.lhs), self.expr(inst.rhs)
+    def _icmp_expr(self, inst: ICmpInst) -> ast.expr:
+        e = self.expr
+        pred = inst.predicate
         if inst.lhs.type.is_pointer:
             # pointer compare: identity for eq/ne, (id, offset) for order
-            same = f"({a}[0] is {b}[0] and {a}[1] == {b}[1])"
-            if inst.predicate == "eq":
-                return f"(1 if {same} else 0)"
-            if inst.predicate == "ne":
-                return f"(0 if {same} else 1)"
-            ka = f"(id({a}[0]), {a}[1])"
-            kb = f"(id({b}[0]), {b}[1])"
-            py = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">=",
-                  "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}[inst.predicate]
-            return f"(1 if {ka} {py} {kb} else 0)"
-        bits = inst.lhs.type.bits
-        mask = (1 << bits) - 1
-        signed = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=",
-                  "sgt": ">", "sge": ">="}
-        if inst.predicate in signed:
-            return f"(1 if {a} {signed[inst.predicate]} {b} else 0)"
-        py = {"ult": "<", "ule": "<=", "ugt": ">", "uge": ">="}[inst.predicate]
-        return f"(1 if ({a} & {mask}) {py} ({b} & {mask}) else 0)"
+            same = _and(
+                _cmp(_item(e(inst.lhs), 0), ast.Is(), _item(e(inst.rhs), 0)),
+                _cmp(_item(e(inst.lhs), 1), ast.Eq(), _item(e(inst.rhs), 1)),
+            )
+            if pred == "eq":
+                return _bool01(same)
+            if pred == "ne":
+                return _ifexp(same, _const(0), _const(1))
+            ka = _tuple(_calln("id", _item(e(inst.lhs), 0)),
+                        _item(e(inst.lhs), 1))
+            kb = _tuple(_calln("id", _item(e(inst.rhs), 0)),
+                        _item(e(inst.rhs), 1))
+            py = {"ult": ast.Lt, "ule": ast.LtE, "ugt": ast.Gt,
+                  "uge": ast.GtE, "slt": ast.Lt, "sle": ast.LtE,
+                  "sgt": ast.Gt, "sge": ast.GtE}[pred]
+            return _bool01(_cmp(ka, py(), kb))
+        a, b = e(inst.lhs), e(inst.rhs)
+        signed = {"eq": ast.Eq, "ne": ast.NotEq, "slt": ast.Lt,
+                  "sle": ast.LtE, "sgt": ast.Gt, "sge": ast.GtE}
+        if pred in signed:
+            return _bool01(_cmp(a, signed[pred](), b))
+        mask = (1 << inst.lhs.type.bits) - 1
+        py = {"ult": ast.Lt, "ule": ast.LtE,
+              "ugt": ast.Gt, "uge": ast.GtE}[pred]
+        return _bool01(_cmp(
+            _bin(a, ast.BitAnd(), _const(mask)), py(),
+            _bin(b, ast.BitAnd(), _const(mask)),
+        ))
 
-    def _load_expr(self, ty: T.Type, pointer: str) -> str:
+    def _fcmp_expr(self, inst: FCmpInst) -> ast.expr:
+        e = self.expr
+
+        def ordered() -> ast.expr:
+            return _and(
+                _cmp(e(inst.lhs), ast.Eq(), e(inst.lhs)),
+                _cmp(e(inst.rhs), ast.Eq(), e(inst.rhs)),
+            )
+
+        pred = inst.predicate
+        if pred == "ord":
+            return _bool01(ordered())
+        if pred == "uno":
+            return _ifexp(ordered(), _const(0), _const(1))
+        py = {"oeq": ast.Eq, "one": ast.NotEq, "olt": ast.Lt,
+              "ole": ast.LtE, "ogt": ast.Gt, "oge": ast.GtE}[pred]
+        return _bool01(_and(
+            ordered(), _cmp(e(inst.lhs), py(), e(inst.rhs)),
+        ))
+
+    def _load_expr(self, ty: T.Type,
+                   pointer: Callable[[], ast.expr]) -> ast.expr:
         if isinstance(ty, T.PointerType):
-            return f"_hload({pointer})"
+            return _calln("_hload", pointer())
         if isinstance(ty, T.IntType):
             suffix = {8: "b", 16: "h", 32: "i", 64: "q"}.get(ty.bits)
             if suffix:
-                return f"_u{suffix}({pointer}[0].data, {pointer}[1])[0]"
+                return _item(_calln(
+                    f"_u{suffix}",
+                    _attr(_item(pointer(), 0), "data"), _item(pointer(), 1),
+                ), 0)
             if ty.bits == 1:
-                return f"({pointer}[0].data[{pointer}[1]] & 1)"
+                return _bin(ast.Subscript(
+                    value=_attr(_item(pointer(), 0), "data"),
+                    slice=_item(pointer(), 1), ctx=_LOAD,
+                ), ast.BitAnd(), _const(1))
             ty_name = self.bind(("static", ty), f"ity{ty.bits}")
-            return f"_load_scalar({ty_name}, {pointer})"
+            return _calln("_load_scalar", _name(ty_name), pointer())
         if isinstance(ty, T.FloatType):
             suffix = "f" if ty.bits == 32 else "d"
-            return f"_u{suffix}({pointer}[0].data, {pointer}[1])[0]"
+            return _item(_calln(
+                f"_u{suffix}",
+                _attr(_item(pointer(), 0), "data"), _item(pointer(), 1),
+            ), 0)
         raise JITError(f"cannot load type {ty}")
 
-    def _store_lines(self, ty: T.Type, value: str, pointer: str) -> List[str]:
+    def _store_stmts(self, ty: T.Type, value: Callable[[], ast.expr],
+                     pointer: Callable[[], ast.expr]) -> List[ast.stmt]:
         if isinstance(ty, T.PointerType):
-            return [f"_hstore({pointer}, {value})"]
+            return [_expr_stmt(_calln("_hstore", pointer(), value()))]
         if isinstance(ty, T.IntType):
             suffix = {8: "b", 16: "h", 32: "i", 64: "q"}.get(ty.bits)
             if suffix:
-                return [f"_p{suffix}({pointer}[0].data, {pointer}[1], {value})"]
+                return [_expr_stmt(_calln(
+                    f"_p{suffix}", _attr(_item(pointer(), 0), "data"),
+                    _item(pointer(), 1), value(),
+                ))]
             if ty.bits == 1:
-                return [f"{pointer}[0].data[{pointer}[1]] = ({value}) & 1"]
+                return [ast.Assign(
+                    targets=[ast.Subscript(
+                        value=_attr(_item(pointer(), 0), "data"),
+                        slice=_item(pointer(), 1), ctx=_STORE,
+                    )],
+                    value=_bin(value(), ast.BitAnd(), _const(1)),
+                )]
             ty_name = self.bind(("static", ty), f"ity{ty.bits}")
-            return [f"_store_scalar({ty_name}, {pointer}, {value})"]
+            return [_expr_stmt(_calln(
+                "_store_scalar", _name(ty_name), pointer(), value(),
+            ))]
         if isinstance(ty, T.FloatType):
             suffix = "f" if ty.bits == 32 else "d"
-            return [f"_p{suffix}({pointer}[0].data, {pointer}[1], {value})"]
+            return [_expr_stmt(_calln(
+                f"_p{suffix}", _attr(_item(pointer(), 0), "data"),
+                _item(pointer(), 1), value(),
+            ))]
         raise JITError(f"cannot store type {ty}")
 
-    def _gep_expr(self, inst: GEPInst) -> str:
-        pointer = self.expr(inst.pointer)
+    def _gep_expr(self, inst: GEPInst) -> ast.expr:
         pointee = inst.pointer.type.pointee
-        terms: List[str] = []
-        first = inst.indices[0]
-        stride = T.size_of(pointee)
-        terms.append(self._scaled_index(first, stride))
+        static = 0
+        var_terms: List[ast.expr] = []
         current = pointee
-        for idx in inst.indices[1:]:
-            if isinstance(current, T.ArrayType):
-                terms.append(self._scaled_index(idx, T.size_of(current.element)))
+        for position, index in enumerate(inst.indices):
+            if position == 0:
+                stride = T.size_of(pointee)
+            elif isinstance(current, T.ArrayType):
+                stride = T.size_of(current.element)
                 current = current.element
             elif isinstance(current, T.StructType):
-                const = idx
+                const = index
                 assert isinstance(const, ConstantInt)
-                offset = sum(
+                static += sum(
                     T.size_of(f) for f in current.fields[: const.value]
                 )
-                terms.append(str(offset))
                 current = current.fields[const.value]
+                continue
             else:
                 raise JITError(f"cannot GEP into {current}")
-        offset_expr = " + ".join(t for t in terms if t != "0") or "0"
-        return f"({pointer}[0], {pointer}[1] + {offset_expr})"
+            if isinstance(index, ConstantInt):
+                static += index.value * stride
+            else:
+                term = self.expr(index)
+                if stride != 1:
+                    term = _bin(term, ast.Mult(), _const(stride))
+                var_terms.append(term)
+        offset: Optional[ast.expr] = None
+        for term in var_terms:
+            offset = term if offset is None else _bin(offset, ast.Add(), term)
+        if static or offset is None:
+            static_node = _const(static)
+            offset = (static_node if offset is None
+                      else _bin(offset, ast.Add(), static_node))
+        return _tuple(
+            _item(self.expr(inst.pointer), 0),
+            _bin(_item(self.expr(inst.pointer), 1), ast.Add(), offset),
+        )
 
-    def _scaled_index(self, index: Value, stride: int) -> str:
-        if isinstance(index, ConstantInt):
-            return str(index.value * stride)
-        expr = self.expr(index)
-        if stride == 1:
-            return expr
-        return f"{expr} * {stride}"
-
-    def _cast_expr(self, inst: CastInst) -> str:
-        value = self.expr(inst.value)
+    def _cast_expr(self, inst: CastInst) -> ast.expr:
+        e = self.expr
         op = inst.opcode
         to = inst.type
         if op == "bitcast":
-            return value
+            return e(inst.value)
         if op == "inttoptr":
-            return f"{self._objtab()}.resolve({value})"
+            return _call(_attr(_name(self._objtab()), "resolve"),
+                         e(inst.value))
         if op == "ptrtoint":
-            return f"{self._objtab()}.intern({value})"
+            return _call(_attr(_name(self._objtab()), "intern"),
+                         e(inst.value))
         if op in ("trunc", "sext", "zext"):
-            src_bits = inst.value.type.bits
-            dst_bits = to.bits
-            src_mask = (1 << src_bits) - 1
-            dst_mask = (1 << dst_bits) - 1
-            half = 1 << (dst_bits - 1) if dst_bits > 1 else 0
+            inner = e(inst.value)
             if op == "zext":
-                inner = f"({value} & {src_mask})"
-            else:
-                inner = value
-            if dst_bits == 1:
-                return f"({inner} & 1)"
-            return f"((({inner}) + {half} & {dst_mask}) - {half})"
+                src_mask = (1 << inst.value.type.bits) - 1
+                inner = _bin(inner, ast.BitAnd(), _const(src_mask))
+            return _wrap_int(inner, to.bits)
         if op == "sitofp":
-            return f"float({value})"
+            return _calln("float", e(inst.value))
         if op == "uitofp":
             src_mask = (1 << inst.value.type.bits) - 1
-            return f"float({value} & {src_mask})"
+            return _calln("float", _bin(e(inst.value), ast.BitAnd(),
+                                        _const(src_mask)))
         if op in ("fptosi", "fptoui"):
-            dst_mask = (1 << to.bits) - 1
-            half = 1 << (to.bits - 1) if to.bits > 1 else 0
-            if to.bits == 1:
-                return f"(_ftoi({value}) & 1)"
-            return f"((_ftoi({value}) + {half} & {dst_mask}) - {half})"
+            return _wrap_int(_calln("_ftoi", e(inst.value)), to.bits)
         if op in ("fptrunc", "fpext"):
             if to.bits == 32:
-                return f"_f32rt({value})"
-            return f"float({value})"
+                return _calln("_f32rt", e(inst.value))
+            return _calln("float", e(inst.value))
         raise JITError(f"cannot lower cast {op}")
+
+
+def _make_source_hook(func: Function) -> Callable[[], str]:
+    """Deferred debugging-source generator for ``func``'s artifact.
+
+    Codegen is deterministic, so re-lowering the same body and unparsing
+    reproduces exactly the code the artifact was compiled from; storing
+    this closure instead of the text keeps artifacts small.
+    """
+
+    def unparse() -> str:
+        return ast.unparse(FunctionCompiler(func).build_tree())
+
+    return unparse
 
 
 #: serializes cold codegen across threads: the background queue's
@@ -787,7 +1009,13 @@ _codegen_lock = threading.Lock()
 
 
 def codegen_function(func: Function) -> CompiledCode:
-    """Generate (or fetch from the function's cache) the compiled artifact."""
+    """Generate (or fetch from the function's cache) the compiled artifact.
+
+    A cold build is traced as a ``codegen.build`` span on the ambient
+    telemetry (nesting inside the engine-level ``jit.compile`` span when
+    the engine shares the ambient sink), so traces separate pure AST
+    construction + bytecode compilation from descriptor resolution.
+    """
     cached = func._cached_code
     if cached is not None and cached.matches(func):
         return cached
@@ -795,7 +1023,13 @@ def codegen_function(func: Function) -> CompiledCode:
         cached = func._cached_code  # a racing thread may have finished
         if cached is not None and cached.matches(func):
             return cached
-        artifact = FunctionCompiler(func).compile()
+        tel = ambient_telemetry()
+        if tel.enabled:
+            with tel.span(EV.CODEGEN_BUILD, function=func.name,
+                          code_version=func.code_version):
+                artifact = FunctionCompiler(func).compile()
+        else:
+            artifact = FunctionCompiler(func).compile()
         func._cached_code = artifact
     return artifact
 
@@ -804,14 +1038,12 @@ def compile_function(func: Function, engine):
     """Compile an IR function to a Python callable bound to ``engine``.
 
     Warm path (the function's cached artifact is still valid): descriptor
-    resolution + ``exec`` only.  Cold path: full source generation and
-    ``compile()`` first.  Which path ran is recorded in the engine's
-    metrics (``jit.cache_hit``/``jit.cache_miss``), and an attached
-    telemetry additionally traces a ``jit.compile`` span around cold
-    code generation.
+    resolution + ``exec`` only.  Cold path: AST build and ``compile()``
+    first.  Which path ran is recorded in the engine's metrics
+    (``jit.cache_hit``/``jit.cache_miss``), and an attached telemetry
+    additionally traces a ``jit.compile`` span around cold code
+    generation (with the ``codegen.build`` span nested inside it).
     """
-    from ..obs import events as EV
-
     cached = func._cached_code
     hit = cached is not None and cached.matches(func)
     tel = getattr(engine, "telemetry", None)

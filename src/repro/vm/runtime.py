@@ -162,6 +162,29 @@ def load_scalar(ty: T.Type, pointer):
     raise TypeError(f"cannot load scalar of type {ty}")
 
 
+def scalar_struct(ty: T.Type):
+    """``(size, wrap_or_None, unpack_from, pack_into)`` for scalar types
+    with a fixed-width packed byte representation, else ``None``.
+
+    This exposes the raw pieces of :func:`scalar_accessors` so a caller
+    that generates fused closures (the decode tier's superinstructions)
+    can inline the bounds check and byte conversion instead of paying
+    two calls per memory access.  ``wrap`` is ``None`` for floats (no
+    canonicalization needed); pointer types and odd integer widths
+    return ``None`` (callers fall back to the accessor closures).
+    """
+    if isinstance(ty, T.IntType):
+        size = T.size_of(ty)
+        st = _STRUCTS.get((size, True))
+        if st is None:
+            return None
+        return size, ty.wrap, st.unpack_from, st.pack_into
+    if isinstance(ty, T.FloatType):
+        st = _F32 if ty.bits == 32 else _F64
+        return T.size_of(ty), None, st.unpack_from, st.pack_into
+    return None
+
+
 def scalar_accessors(ty: T.Type) -> Tuple[Callable, Callable]:
     """Specialized ``(load, store)`` closures for one scalar IR type.
 

@@ -141,7 +141,7 @@ class TestEngineStreams:
     def test_decode_bailout_records_reason(self, monkeypatch):
         from repro.vm import engine as engine_mod
 
-        def boom(func, engine):
+        def boom(func, engine, fuse=True):
             raise DecodeError("synthetic bailout")
 
         monkeypatch.setattr(engine_mod, "decode_function", boom)

@@ -55,6 +55,56 @@ def test_cli_smoke(tmp_path, capsys):
     assert data["cache"], "cache rows implied by tiers are missing"
 
 
+def test_lowering_smoke_rows():
+    from benchmarks.bench_lowering import (
+        format_codegen,
+        format_fusion,
+        format_intrusiveness,
+        run_codegen,
+        run_fusion,
+        run_intrusiveness,
+    )
+
+    codegen_rows = run_codegen(smoke=True)
+    assert codegen_rows
+    for row in codegen_rows:
+        assert row.ast_compile_s > 0
+        assert row.lowered_ops > 0
+        # the AST-direct pipeline skips unparse + re-parse, so even a
+        # single smoke trial must come in under the text round-trip
+        assert row.ast_compile_s < row.text_compile_s, row
+    json.dumps([row._asdict() for row in codegen_rows], default=str)
+    assert "ast-direct" in format_codegen(codegen_rows)
+
+    fusion_rows = run_fusion(smoke=True)
+    assert fusion_rows
+    for row in fusion_rows:
+        assert row.fused_s > 0
+        assert row.unfused_s > 0
+        # the decoder actually fused something on a branchy workload
+        assert row.cmp_br > 0, row
+        assert row.op_chain > 0, row
+    json.dumps([row._asdict() for row in fusion_rows], default=str)
+    assert "fused" in format_fusion(fusion_rows)
+
+    intr_rows = run_intrusiveness()
+    for row in intr_rows:
+        # a never-firing OSR point adds a handful of ops, not a rewrite
+        assert 0 < row.delta_ops <= 64, row
+    assert "native ops" in format_intrusiveness(intr_rows)
+
+
+def test_lowering_cli_smoke(tmp_path):
+    from benchmarks.__main__ import main
+
+    out = tmp_path / "bench.json"
+    assert main(["lowering", "--smoke", "--json", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["lowering"], "codegen rows missing from JSON"
+    assert data["fusion"], "fusion rows missing from JSON"
+    assert data["intrusiveness"], "intrusiveness rows missing from JSON"
+
+
 def test_background_smoke_rows():
     from benchmarks.bench_background import format_background, run_background
 

@@ -1,18 +1,22 @@
-"""JIT code-generation tests: inspect the Python source the JIT emits and
-the lazy-compilation trampoline behaviour."""
+"""JIT code-generation tests: inspect the Python code the JIT emits (via
+the on-demand ``__ir_source__`` unparse) and the lazy-compilation
+trampoline behaviour."""
+
+import ast
+import marshal
 
 import pytest
 
 from repro.ir import parse_module
 from repro.vm import ExecutionEngine
-from repro.vm.jit import compile_function
+from repro.vm.jit import FunctionCompiler, compile_function
 
 
 def source_of(src, name):
     module = parse_module(src)
     engine = ExecutionEngine(module)
     compiled = compile_function(module.get_function(name), engine)
-    return compiled.__ir_source__, compiled, engine
+    return compiled.__ir_source__(), compiled, engine
 
 
 class TestGeneratedSource:
@@ -42,14 +46,17 @@ out:
 """, "f")
         # the edge transfer must be one simultaneous tuple assignment:
         # on the back edge, a and b swap in a single statement
-        swap_lines = [
-            line.strip() for line in text.splitlines()
-            if line.count(",") == 2 and " = " in line
+        swaps = [
+            node for node in ast.walk(ast.parse(text))
+            if isinstance(node, ast.Assign)
+            and isinstance(node.targets[0], ast.Tuple)
+            and isinstance(node.value, ast.Tuple)
         ]
-        assert swap_lines, text
-        lhs, rhs = swap_lines[-1].split(" = ")
-        a_name, b_name = (part.strip() for part in lhs.split(","))
-        assert rhs.split(", ") == [b_name, a_name]  # the swap
+        assert swaps, text
+        back_edge = swaps[-1]
+        lhs = [n.id for n in back_edge.targets[0].elts]
+        rhs = [n.id for n in back_edge.value.elts]
+        assert rhs == list(reversed(lhs))  # the swap
 
         # ...and behaviourally: results alternate with the trip count
         module = parse_module("""
@@ -141,15 +148,87 @@ d:
         assert compiled(2) == 20
         assert compiled(3) == 0
 
-    def test_source_attached_for_debugging(self):
+    def test_source_produced_on_demand(self):
         text, compiled, _ = source_of("""
 define i64 @f() {
 entry:
   ret i64 1
 }
 """, "f")
-        assert compiled.__ir_source__ is text
+        # __ir_source__ is the artifact's lazy unparse hook: nothing is
+        # stored until the first request, then the string is cached
+        artifact = compiled.__ir_artifact__
+        assert compiled.__ir_source__() is artifact.source
         assert "def _jit_f" in text
+        # the unparsed debugging source is real Python for the same body
+        ast.parse(text)
+
+    def test_no_eager_source_on_artifact(self):
+        module = parse_module("""
+define i64 @f() {
+entry:
+  ret i64 1
+}
+""")
+        from repro.vm import codegen_function
+
+        artifact = codegen_function(module.get_function("f"))
+        assert artifact._source is None  # nothing paid until asked
+        assert "def _jit_f" in artifact.source
+        assert artifact._source is not None  # cached after first unparse
+
+
+class TestDeterminism:
+    SRC = """
+define i64 @f(i64 %n) {
+entry:
+  %z = icmp sgt i64 %n, 0
+  br i1 %z, label %loop, label %out
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i1, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc1, %loop ]
+  %acc1 = add i64 %acc, %i
+  %i1 = add i64 %i, 1
+  %c = icmp slt i64 %i1, %n
+  br i1 %c, label %loop, label %out
+out:
+  %r = phi i64 [ 0, %entry ], [ %acc1, %loop ]
+  ret i64 %r
+}
+"""
+
+    def test_same_ir_gives_byte_identical_code(self):
+        """The artifact cache key (code_version/shape) is only sound if
+        codegen is a pure function of the IR body."""
+        module = parse_module(self.SRC)
+        func = module.get_function("f")
+        one = FunctionCompiler(func).compile()
+        two = FunctionCompiler(func).compile()
+        assert marshal.dumps(one.code) == marshal.dumps(two.code)
+        assert one.bindings.keys() == two.bindings.keys()
+
+    def test_reparsed_ir_gives_byte_identical_code(self):
+        """Even a fresh parse of the same text lowers identically."""
+        one = FunctionCompiler(
+            parse_module(self.SRC).get_function("f")).compile()
+        two = FunctionCompiler(
+            parse_module(self.SRC).get_function("f")).compile()
+        assert marshal.dumps(one.code) == marshal.dumps(two.code)
+
+    def test_unparse_matches_compiled_code(self):
+        """ir_source() re-lowers the same body: the text it returns
+        compiles to code behaviourally identical to what is executing."""
+        module = parse_module(self.SRC)
+        func = module.get_function("f")
+        engine = ExecutionEngine(module)
+        compiled = compile_function(func, engine)
+        artifact = compiled.__ir_artifact__
+        recompiled = compile(artifact.source, f"<jit:@{func.name}>", "exec")
+        namespace = dict(compiled.__globals__)
+        exec(recompiled, namespace)
+        from_text = namespace[artifact.py_name]
+        for n in (0, 1, 5, 10):
+            assert from_text(n) == compiled(n)
 
 
 class TestRedirection:
