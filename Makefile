@@ -4,7 +4,7 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering trace-smoke
+.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering bench-obs trace-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -42,6 +42,11 @@ bench-analysis:
 # superinstruction fusion, OSR intrusiveness (Figure 8 analogue)
 bench-lowering:
 	$(PP) $(PYTHON) -m benchmarks lowering --json BENCH_lowering.json
+
+# observability: always-on telemetry overhead vs the 5% budget, plus
+# dispatch/compile latency percentiles (backs docs/observability.md)
+bench-obs:
+	$(PP) $(PYTHON) -m benchmarks obs --json BENCH_obs.json
 
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:

@@ -14,8 +14,10 @@ speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
 ``analysis`` (cached vs recompute-always analyses from
 ``bench_analysis.py``), ``lowering`` (AST-direct codegen latency,
 decoded-tier superinstruction fusion and OSR intrusiveness from
-``bench_lowering.py``) and ``q1``–``q4`` (the paper's evaluation
-drivers from :mod:`repro.experiments`).
+``bench_lowering.py``), ``obs`` (always-on telemetry overhead and the
+dispatch/compile latency percentiles from ``bench_obs.py``) and
+``q1``–``q4`` (the paper's evaluation drivers from
+:mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
 ``env`` block recording the interpreter version and trial count, so runs
@@ -54,10 +56,11 @@ from .bench_lowering import (
     run_fusion,
     run_intrusiveness,
 )
+from .bench_obs import format_obs, run_obs
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
 TARGETS = ("tiers", "cache", "background", "spec", "analysis", "lowering",
-           "q1", "q2", "q3", "q4")
+           "obs", "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -160,6 +163,12 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             results["fusion"] = _rows_to_json(fusion_rows)
             results["intrusiveness"] = _rows_to_json(intr_rows)
             rows = codegen_rows
+        elif target == "obs":
+            print("Observability — always-on telemetry overhead")
+            print(banner)
+            rows, latency = run_obs(trials=args.trials, smoke=args.smoke)
+            print(format_obs(rows, latency))
+            results["obs_latency"] = latency
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)

@@ -279,10 +279,16 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
     def optimizer(f_ir, osr_block, env_obj, val):
         tel = getattr(vm.engine, "telemetry", None)
         traced = tel is not None and tel.enabled
+        # counting discipline: with tracing off, the same names still
+        # tick as bare counters so feval activity stays visible in
+        # metrics-only (production) runs
+        metrics = getattr(vm.engine, "metrics", None)
         if not isinstance(val, McFunctionHandleValue):
             if traced:
                 tel.event(EV.FEVAL_GUARD_FAIL, function=env.function.name,
                           reason=f"non-handle val {type(val).__name__}")
+            elif metrics is not None:
+                metrics.inc(EV.FEVAL_GUARD_FAIL)
             return _guard_fail_deopt(tel if traced else None)
         target_name = val.name
         cache_key = (env.function.name, env.loop_id, target_name,
@@ -293,12 +299,16 @@ def make_feval_optimizer(vm, env: FevalOSREnv):
             if traced:
                 tel.event(EV.FEVAL_CACHE_HIT, function=env.function.name,
                           target=target_name)
+            elif metrics is not None:
+                metrics.inc(EV.FEVAL_CACHE_HIT)
             return cached
         vm.stats["feval_optimizations"] += 1
         if traced:
             with tel.span(EV.FEVAL_SPECIALIZE, function=env.function.name,
                           target=target_name, loop=env.loop_id):
                 return _specialize(target_name, cache_key, tel)
+        if metrics is not None:
+            metrics.inc(EV.FEVAL_SPECIALIZE)
         return _specialize(target_name, cache_key, None)
 
     def _specialize(target_name, cache_key, tel):

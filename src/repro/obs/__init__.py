@@ -1,10 +1,19 @@
 """``repro.obs`` — zero-dependency VM observability.
 
-Three layers:
+Six layers:
 
 * :class:`Tracer` — cheap structured event tracing (spans + instants);
-* :class:`MetricsRegistry` — named counters/gauges/timers with
-  snapshot and diff support;
+* :class:`MetricsRegistry` — named counters/gauges/timers (timers are
+  histogram-backed: every ``record_time`` also lands in a
+  :class:`LogHistogram`, so ``timer_stats`` reports p50/p90/p99/p999);
+* :class:`FlightRecorder` — a bounded ring buffer cheap enough to leave
+  on in production; dumps a Chrome trace of the last N events on demand
+  or when an anomaly trips (deopt-thrash pin, invalidation storm,
+  uncaught trap);
+* :class:`SamplingProfiler` — a background thread attributing wall time
+  across tiers with zero per-op instrumentation;
+* journeys — per-function tier-journey reports answering "why is this
+  function still at baseline?";
 * exporters — Chrome trace-event JSON (Perfetto-loadable), a table
   report, and a machine-readable stats JSON.
 
@@ -18,13 +27,16 @@ attribute check.  Scripts enable tracing with::
         engine = ExecutionEngine(module)
         engine.run("main")
 
-and inspect traces with ``python -m repro.obs report trace.json``.
+while production runs attach :func:`production_telemetry` (a Telemetry
+over a FlightRecorder) or pass ``flight=True`` to the engine.  Inspect
+traces with ``python -m repro.obs report|flight|profile|journey``.
 See ``docs/observability.md`` for the event vocabulary.
 """
 
 from . import events
 from .events import EVENT_NAMES, INSTANT_NAMES, SPAN_NAMES, validate_events
 from .export import (
+    chrome_events_from_raw,
     chrome_trace_document,
     chrome_trace_events,
     format_report,
@@ -36,12 +48,17 @@ from .export import (
     write_chrome_trace,
     write_stats_json,
 )
+from .flight import FlightRecorder
+from .histogram import LogHistogram
+from .journey import Journey, build_journeys, format_journeys
 from .metrics import MetricsRegistry
+from .profiler import SamplingProfiler, classify_frame
 from .telemetry import (
     NULL_TELEMETRY,
     Telemetry,
     ambient,
     local_telemetry,
+    production_telemetry,
     set_ambient,
     trace,
 )
@@ -51,18 +68,27 @@ __all__ = [
     "EVENT_NAMES",
     "INSTANT_NAMES",
     "SPAN_NAMES",
+    "FlightRecorder",
+    "Journey",
+    "LogHistogram",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "SamplingProfiler",
     "Telemetry",
     "Tracer",
     "ambient",
+    "build_journeys",
+    "chrome_events_from_raw",
     "chrome_trace_document",
     "chrome_trace_events",
+    "classify_frame",
     "events",
+    "format_journeys",
     "format_report",
     "format_trace_report",
     "load_chrome_trace",
     "local_telemetry",
+    "production_telemetry",
     "set_ambient",
     "stats_document",
     "summarize_chrome_events",

@@ -42,10 +42,16 @@ name                      kind   emitted when
 ``compile.start``         event  a queue worker picked the job up and began compiling
 ``compile.install``       event  the finished code was atomically published
 ``compile.discard``       event  a stale in-flight compile was dropped (generation raced)
+``flight.anomaly``        event  the flight recorder tripped an anomaly trigger
 ========================  =====  ==================================================
 
 *event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
-are balanced begin/end pairs (``ph: "B"``/``"E"``).
+are balanced begin/end pairs (``ph: "B"``/``"E"``).  The bounded
+:class:`~repro.obs.flight.FlightRecorder` additionally records finished
+spans as single *complete* events (``ph: "X"`` with a ``dur``), so a
+ring dump stays well formed even after the begin half of a pair has
+been overwritten; ``validate_events`` accepts span names in either
+shape.
 """
 
 from __future__ import annotations
@@ -86,11 +92,17 @@ COMPILE_QUEUE = "compile.queue"
 COMPILE_START = "compile.start"
 COMPILE_INSTALL = "compile.install"
 COMPILE_DISCARD = "compile.discard"
+FLIGHT_ANOMALY = "flight.anomaly"
 
 #: metrics-only names (no trace events): the background queue's depth
-#: gauge and its enqueue-to-install latency timer
+#: gauge, its enqueue-to-install latency and enqueue-to-start wait
+#: timers, the per-call dispatch latency timer, and the deopt OSR-exit
+#: transition-cost timer — each backed by a percentile histogram
 COMPILE_QUEUE_DEPTH = "compile.queue_depth"
 COMPILE_LATENCY = "compile.latency"
+COMPILE_WAIT = "compile.wait"
+ENGINE_DISPATCH = "engine.dispatch"
+DEOPT_TRANSITION = "deopt.transition"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -120,6 +132,7 @@ INSTANT_NAMES = frozenset({
     COMPILE_START,
     COMPILE_INSTALL,
     COMPILE_DISCARD,
+    FLIGHT_ANOMALY,
 })
 
 #: names emitted as begin/end span pairs
@@ -167,10 +180,15 @@ def validate_events(events: Iterable[Dict[str, object]]) -> List[str]:
             continue
         if phase == "i" and name not in INSTANT_NAMES:
             problems.append(f"{where}: span name {name!r} emitted as instant")
-        elif phase in ("B", "E") and name not in SPAN_NAMES:
+        elif phase in ("B", "E", "X") and name not in SPAN_NAMES:
             problems.append(f"{where}: instant name {name!r} emitted as span")
-        elif phase not in ("i", "B", "E"):
+        elif phase not in ("i", "B", "E", "X"):
             problems.append(f"{where}: unknown phase {phase!r}")
+        if phase == "X" and not isinstance(event.get("dur"), int):
+            problems.append(
+                f"{where}: complete event without integer dur: "
+                f"{event.get('dur')!r}"
+            )
         if not isinstance(ts, int):
             problems.append(f"{where}: non-integer timestamp {ts!r}")
         else:

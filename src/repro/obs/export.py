@@ -24,10 +24,14 @@ TRACE_PID = 1
 TRACE_TID = 1
 
 
-def chrome_trace_events(telemetry) -> List[Dict[str, object]]:
-    """The tracer's events in Chrome trace-event form (timestamps in µs)."""
+def chrome_events_from_raw(events: List[Dict[str, object]]
+                           ) -> List[Dict[str, object]]:
+    """Raw tracer/flight-recorder events in Chrome trace-event form
+    (timestamps and durations in µs).  Handles instants (``i``),
+    span pairs (``B``/``E``) and the flight recorder's complete
+    events (``X`` with an ns ``dur``)."""
     out: List[Dict[str, object]] = []
-    for event in telemetry.tracer.events:
+    for event in events:
         chrome: Dict[str, object] = {
             "name": event["name"],
             "cat": str(event["name"]).split(".", 1)[0],
@@ -36,12 +40,19 @@ def chrome_trace_events(telemetry) -> List[Dict[str, object]]:
             "pid": TRACE_PID,
             "tid": TRACE_TID,
         }
-        if event["args"]:
+        if event.get("args"):
             chrome["args"] = dict(event["args"])
         if event["ph"] == "i":
             chrome["s"] = "t"  # thread-scoped instant
+        elif event["ph"] == "X":
+            chrome["dur"] = event.get("dur", 0) / 1000.0
         out.append(chrome)
     return out
+
+
+def chrome_trace_events(telemetry) -> List[Dict[str, object]]:
+    """The tracer's events in Chrome trace-event form (timestamps in µs)."""
+    return chrome_events_from_raw(telemetry.tracer.events)
 
 
 def chrome_trace_document(telemetry) -> Dict[str, object]:

@@ -1,19 +1,26 @@
 """Named counters, gauges and timers with snapshot + diff support.
 
 One :class:`MetricsRegistry` is the single stats surface for a VM: the
-execution engine folds its former ad-hoc ``tier_stats()`` counters into
-it, telemetry events bump a counter per event name, and spans accumulate
-into timers — so a benchmark run can snapshot before/after and report
-exactly what the runtime did in between.
+execution engine folds its counters into it, telemetry events bump a
+counter per event name, and spans accumulate into timers — so a
+benchmark run can snapshot before/after and report exactly what the
+runtime did in between.
 
-Counters are plain dict increments (cheap enough to stay on even without
-tracing); timers store ``(count, total, min, max)`` in seconds.
+Counters are plain dict increments (cheap enough to stay on even
+without tracing); timers record ``(count, total, min, max)`` in seconds
+*and* feed a per-timer :class:`~repro.obs.histogram.LogHistogram`, so
+``timer_stats`` and ``snapshot()`` report ``p50/p90/p99/p999``
+percentiles alongside the scalar summary — the distribution view the
+always-on production telemetry is built on.
 
 The registry is thread-safe: one lock guards every mutation, so the
 background compile workers and the main thread fold into the same
-counters/timers without losing increments.  Reads (``counter``,
-``gauge_value``, ``timer_stats``) stay lock-free — a read racing a
-write sees either the old or the new value, never a torn one.
+counters/timers without losing increments.  Counter and gauge reads
+stay lock-free (a read racing a write sees the old or the new value,
+never a torn one, because ints/floats are replaced wholesale); timer
+reads copy the cell *under the lock* — the scalar fields are mutated
+one by one, so a lock-free reader could otherwise see a count from one
+observation and a total from another.
 """
 
 from __future__ import annotations
@@ -22,6 +29,26 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Optional
+
+from .histogram import SNAPSHOT_PERCENTILES, LogHistogram
+
+
+class _TimerCell:
+    """One timer's accumulator: scalar summary + latency histogram.
+
+    Scalars are mutated field-by-field under the registry lock and must
+    only be read under it (copied into immutable snapshots); the
+    histogram carries its own lock so it can also be read standalone.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "hist")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.hist = LogHistogram()
 
 
 class MetricsRegistry:
@@ -32,7 +59,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
-        self._timers: Dict[str, list] = {}
+        self._timers: Dict[str, _TimerCell] = {}
         self._lock = threading.Lock()
 
     # -- counters -----------------------------------------------------------------
@@ -66,18 +93,19 @@ class MetricsRegistry:
     # -- timers -------------------------------------------------------------------
 
     def record_time(self, name: str, seconds: float) -> None:
-        """Fold one observation into timer ``name``."""
+        """Fold one observation into timer ``name`` (scalars + histogram)."""
         with self._lock:
             cell = self._timers.get(name)
             if cell is None:
-                self._timers[name] = [1, seconds, seconds, seconds]
-            else:
-                cell[0] += 1
-                cell[1] += seconds
-                if seconds < cell[2]:
-                    cell[2] = seconds
-                if seconds > cell[3]:
-                    cell[3] = seconds
+                cell = self._timers[name] = _TimerCell()
+            cell.count += 1
+            cell.total += seconds
+            if cell.min is None or seconds < cell.min:
+                cell.min = seconds
+            if cell.max is None or seconds > cell.max:
+                cell.max = seconds
+            # lock order is always registry -> histogram, never reversed
+            cell.hist.record(seconds)
 
     @contextmanager
     def timer(self, name: str):
@@ -89,30 +117,58 @@ class MetricsRegistry:
             self.record_time(name, time.perf_counter() - start)
 
     def timer_stats(self, name: str) -> Optional[Dict[str, float]]:
-        with self._lock:
-            return self._timer_stats_locked(name)
+        """A consistent snapshot of one timer: count/total/min/max/mean
+        plus ``p50/p90/p99/p999`` from the attached histogram.
 
-    def _timer_stats_locked(self, name: str) -> Optional[Dict[str, float]]:
+        The cell is copied under the registry lock (its fields are
+        mutated one at a time, so a lock-free read could tear — count
+        from one observation, total from another).
+        """
+        with self._lock:
+            copied = self._copy_timer_locked(name)
+        if copied is None:
+            return None
+        return self._stats_from_copy(copied)
+
+    def _copy_timer_locked(self, name: str):
+        """Immutable (count, total, min, max, hist) copy of one cell;
+        caller holds the registry lock."""
         cell = self._timers.get(name)
         if cell is None:
             return None
-        count, total, lo, hi = cell
-        return {"count": count, "total": total, "min": lo, "max": hi,
-                "mean": total / count if count else 0.0}
+        return (cell.count, cell.total, cell.min, cell.max, cell.hist)
+
+    @staticmethod
+    def _stats_from_copy(copied) -> Dict[str, float]:
+        count, total, lo, hi, hist = copied
+        stats = {"count": count, "total": total, "min": lo, "max": hi,
+                 "mean": total / count if count else 0.0}
+        percentiles = hist.percentiles([p for _, p in SNAPSHOT_PERCENTILES])
+        for key, p in SNAPSHOT_PERCENTILES:
+            stats[key] = percentiles[p]
+        return stats
+
+    def timer_histogram(self, name: str) -> Optional[LogHistogram]:
+        """The live histogram behind timer ``name`` (None if absent)."""
+        with self._lock:
+            cell = self._timers.get(name)
+            return cell.hist if cell is not None else None
 
     # -- snapshots ----------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A deep, JSON-serializable copy of the registry state."""
         with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
-                "timers": {
-                    name: self._timer_stats_locked(name)
-                    for name in self._timers
-                },
-            }
+            copies = {name: self._copy_timer_locked(name)
+                      for name in self._timers}
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "timers": {name: self._stats_from_copy(copied)
+                       for name, copied in copies.items()},
+        }
 
     @staticmethod
     def diff(before: Dict[str, Dict[str, object]],

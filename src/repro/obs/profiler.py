@@ -1,0 +1,248 @@
+"""Background sampling profiler: wall-time attribution across tiers.
+
+A daemon thread periodically snapshots every Python thread's frame
+stack (``sys._current_frames()``) and attributes each sample to the
+innermost *recognizable* frame.  Recognition is free at run time: every
+engine thunk already carries its identity in its code object's name
+(``_mark_thunk`` stamps ``decoded_<fn>``, ``tiered_<fn>``, ... onto
+``co_name``) and JIT-generated code compiles under ``_jit_<fn>`` — so
+the profiler needs **zero per-op instrumentation**; the cost of
+profiling is paid entirely by the sampling thread.
+
+Per sample the profiler also reads engine-level state that frames
+cannot show: the background compile queue's depth and pending set.
+
+Outputs:
+
+* :meth:`report` — wall-time share per tier and per function, plus
+  queue statistics;
+* :meth:`collapsed` — collapsed-stack lines (``a;b;c count``) that
+  ``flamegraph.pl`` / speedscope consume directly;
+* :meth:`snapshot` — the JSON document behind both.
+
+The CLI front end is ``python -m repro.obs profile``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+#: code-object name prefix -> tier label (matched longest-first)
+TIER_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_jit_", "jit"),
+    ("decoded_", "decoded"),
+    ("interp_", "interp"),
+    ("tieredbg_", "tiered-bg-dispatch"),
+    ("tiered_", "tiered-dispatch"),
+    ("speculative_", "speculative-dispatch"),
+    ("osrfire_", "osr-continuation"),
+    ("trampoline_", "trampoline"),
+)
+
+#: safety bound on stack walks (a runaway recursion still samples fast)
+MAX_STACK_DEPTH = 256
+
+
+def classify_frame(co_name: str) -> Optional[Tuple[str, str]]:
+    """``(tier, function)`` for a recognizable code-object name."""
+    for prefix, tier in TIER_PREFIXES:
+        if co_name.startswith(prefix):
+            return tier, co_name[len(prefix):]
+    return None
+
+
+class SamplingProfiler:
+    """Samples engine activity on a timer; start/stop or sample manually."""
+
+    def __init__(self, engine=None, interval: float = 0.005):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        #: engine whose compile queue is sampled alongside the stacks
+        self.engine = engine
+        self.interval = interval
+        #: (tier, function) -> thread-samples attributed to it
+        self.samples: Counter = Counter()
+        #: full marker chains (outermost..innermost) -> samples
+        self.stacks: Counter = Counter()
+        self.attributed = 0   #: thread-samples that hit a marked frame
+        self.ticks = 0        #: sampling rounds taken
+        self.idle_ticks = 0   #: rounds where no thread ran marked code
+        self.queue_depths: List[int] = []
+        self.pending: Counter = Counter()
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self.started_at = time.perf_counter()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.stopped_at is None:
+            self.stopped_at = time.perf_counter()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample_once(self) -> int:
+        """Take one sample of every thread; returns the number of
+        thread-samples attributed to marked frames."""
+        own = threading.get_ident()
+        frames = sys._current_frames()
+        hits = 0
+        for tid, frame in frames.items():
+            if tid == own:
+                continue
+            chain: List[Tuple[str, str]] = []
+            depth = 0
+            while frame is not None and depth < MAX_STACK_DEPTH:
+                marker = classify_frame(frame.f_code.co_name)
+                if marker is not None:
+                    chain.append(marker)
+                frame = frame.f_back
+                depth += 1
+            if chain:
+                chain.reverse()  # outermost first
+                self.samples[chain[-1]] += 1
+                self.stacks[tuple(chain)] += 1
+                hits += 1
+        self.ticks += 1
+        self.attributed += hits
+        if hits == 0:
+            self.idle_ticks += 1
+        self._sample_engine()
+        return hits
+
+    def _sample_engine(self) -> None:
+        engine = self.engine
+        if engine is None:
+            return
+        queue = getattr(engine, "background_queue", None)
+        if queue is None:
+            return
+        self.queue_depths.append(queue.depth)
+        for name in queue.pending_functions():
+            self.pending[name] += 1
+
+    # -- attribution --------------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        return end - self.started_at
+
+    def tier_shares(self) -> Dict[str, float]:
+        """Fraction of attributed samples per tier (sums to 1.0)."""
+        totals: Counter = Counter()
+        for (tier, _), count in self.samples.items():
+            totals[tier] += count
+        total = sum(totals.values())
+        if not total:
+            return {}
+        return {tier: count / total for tier, count in totals.items()}
+
+    def tier_seconds(self) -> Dict[str, float]:
+        """Estimated wall seconds per tier: share of sampling rounds in
+        that tier times the profiled wall time."""
+        if not self.ticks:
+            return {}
+        wall = self.wall_seconds
+        totals: Counter = Counter()
+        for (tier, _), count in self.samples.items():
+            totals[tier] += count
+        return {tier: wall * count / self.ticks
+                for tier, count in totals.items()}
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines for flamegraph tooling, heaviest first."""
+        lines = []
+        for chain, count in self.stacks.most_common():
+            frames = ";".join(f"{func} [{tier}]" for tier, func in chain)
+            lines.append(f"{frames} {count}")
+        return lines
+
+    def snapshot(self) -> Dict[str, object]:
+        depths = self.queue_depths
+        return {
+            "interval_s": self.interval,
+            "wall_s": self.wall_seconds,
+            "ticks": self.ticks,
+            "attributed": self.attributed,
+            "idle_ticks": self.idle_ticks,
+            "tiers": {tier: share
+                      for tier, share in sorted(self.tier_shares().items())},
+            "functions": {
+                f"{func} [{tier}]": count
+                for (tier, func), count in self.samples.most_common()
+            },
+            "queue": {
+                "samples": len(depths),
+                "max_depth": max(depths) if depths else 0,
+                "mean_depth": (sum(depths) / len(depths)) if depths else 0.0,
+                "pending": dict(self.pending.most_common()),
+            },
+            "collapsed": self.collapsed(),
+        }
+
+    def report(self, title: str = "sampling profile") -> str:
+        snap = self.snapshot()
+        lines = [
+            title,
+            f"wall {snap['wall_s']:.3f}s, {snap['ticks']} samples at "
+            f"{self.interval * 1e3:.1f}ms "
+            f"({snap['idle_ticks']} idle)",
+            f"{'tier':<22} {'share':>8}",
+        ]
+        for tier, share in sorted(self.tier_shares().items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"{tier:<22} {share * 100:>7.1f}%")
+        if not self.tier_shares():
+            lines.append("(no attributed samples)")
+        lines.append(f"{'function':<40} {'samples':>8}")
+        for (tier, func), count in self.samples.most_common(12):
+            lines.append(f"{func + ' [' + tier + ']':<40} {count:>8}")
+        queue = snap["queue"]
+        if queue["samples"]:
+            lines.append(
+                f"compile queue: max depth {queue['max_depth']}, mean "
+                f"{queue['mean_depth']:.2f} over {queue['samples']} samples"
+            )
+            if queue["pending"]:
+                hot = ", ".join(f"{name}({n})"
+                                for name, n in list(queue["pending"].items())[:6])
+                lines.append(f"pending most often: {hot}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SamplingProfiler ticks={self.ticks} "
+                f"attributed={self.attributed}>")

@@ -35,8 +35,15 @@ class SmokeResult:
 def run_trace_smoke(benchmark_name: str = "n-body",
                     level: str = "unoptimized",
                     call_threshold: int = 4,
-                    out: Optional[str] = None) -> SmokeResult:
-    """Run the smoke scenario; optionally write the trace to ``out``."""
+                    out: Optional[str] = None,
+                    telemetry: Optional[Telemetry] = None,
+                    tier: str = "tiered") -> SmokeResult:
+    """Run the smoke scenario; optionally write the trace to ``out``.
+
+    Pass ``telemetry`` to drive the run through a caller-owned sink —
+    the flight-recorder CLI runs the same scenario over a
+    :func:`~repro.obs.telemetry.production_telemetry` ring.
+    """
     from ..core import HotCounterCondition, insert_resolved_osr_point
     from ..experiments.sites import q2_location
     from ..shootout import SUITE, compile_benchmark
@@ -44,8 +51,9 @@ def run_trace_smoke(benchmark_name: str = "n-body",
 
     benchmark = SUITE[benchmark_name]
     module = compile_benchmark(benchmark, level)
-    telemetry = Telemetry()
-    engine = ExecutionEngine(module, tier="tiered",
+    if telemetry is None:
+        telemetry = Telemetry()
+    engine = ExecutionEngine(module, tier=tier,
                              call_threshold=call_threshold,
                              telemetry=telemetry)
     # always-firing resolved OSR in the per-iteration method: every call

@@ -28,6 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
+from .flight import DEFAULT_CAPACITY, FlightRecorder
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
@@ -58,9 +59,21 @@ class Telemetry:
     enabled = True
 
     def __init__(self, clock: Optional[Callable[[], int]] = None,
-                 metrics: Optional[MetricsRegistry] = None):
-        self.tracer = Tracer(clock=clock)
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None):
+        #: the event sink: an unbounded Tracer by default, or any object
+        #: with the same interface — :func:`production_telemetry` passes
+        #: a bounded :class:`~repro.obs.flight.FlightRecorder`
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def flight(self) -> Optional[FlightRecorder]:
+        """The flight recorder behind this telemetry, or None when the
+        sink is a full tracer — hook sites use this to report anomalies
+        (``engine.call`` on an uncaught Trap)."""
+        tracer = self.tracer
+        return tracer if isinstance(tracer, FlightRecorder) else None
 
     def event(self, name: str, **args) -> None:
         """Record an instant event and bump its counter."""
@@ -100,6 +113,7 @@ class _NullTelemetry:
     __slots__ = ()
 
     enabled = False
+    flight = None
 
     def event(self, name: str, **args) -> None:
         pass
@@ -127,6 +141,26 @@ def set_ambient(telemetry) -> None:
     default; prefer the :func:`trace` context manager in scripts."""
     global _ambient
     _ambient = telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+def production_telemetry(capacity: int = DEFAULT_CAPACITY,
+                         dump_path: Optional[str] = None,
+                         metrics: Optional[MetricsRegistry] = None,
+                         **recorder_options) -> Telemetry:
+    """An always-on telemetry cheap enough for production engines.
+
+    The event sink is a bounded :class:`~repro.obs.flight.FlightRecorder`
+    (drop-oldest ring with anomaly triggers and on-demand Chrome dump)
+    instead of the unbounded tracer, and the metrics registry's timers
+    carry percentile histograms — so a ``tiered``/``tiered-bg`` engine
+    can keep this attached across millions of calls and still answer
+    "what were the p99 dispatch and compile latencies, and what happened
+    right before that anomaly?".  ``ExecutionEngine(module, flight=True)``
+    attaches one automatically.
+    """
+    recorder = FlightRecorder(capacity=capacity, dump_path=dump_path,
+                              **recorder_options)
+    return Telemetry(metrics=metrics, tracer=recorder)
 
 
 def local_telemetry() -> Telemetry:

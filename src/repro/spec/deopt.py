@@ -23,6 +23,7 @@ the differential tests use to inject deopts at arbitrary points.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
 from ..core.autostate import AutoStateError, derive_state_mapping
@@ -124,7 +125,15 @@ class DeoptManager:
 
     def entry(self, guard_id: str, lives: List) -> object:
         """Perform the OSR-exit for a failed guard; returns the final
-        return value of the resumed execution."""
+        return value of the resumed execution.
+
+        The *transition cost* — everything between the guard failing
+        and the continuation being ready to run (policy consultation,
+        continuation generation or cache lookup) — folds into the
+        histogram-backed ``deopt.transition`` timer, so warm/cold deopt
+        tails are visible as ``p50`` vs ``p99``.
+        """
+        transition_start = time.perf_counter()
         frame = self._frames.get(guard_id)
         if frame is None:
             raise Trap(f"deopt exit for unknown guard {guard_id!r}")
@@ -156,6 +165,10 @@ class DeoptManager:
                 elif metrics is not None:
                     metrics.inc(EV.SPEC_DISPATCH)
                     metrics.inc(EV.DEOPT_EXIT)
+                if metrics is not None:
+                    metrics.record_time(
+                        EV.DEOPT_TRANSITION,
+                        time.perf_counter() - transition_start)
                 return continuation(*lives)
 
         continuation = self._baseline_continuation(guard_id, frame)
@@ -164,6 +177,9 @@ class DeoptManager:
                       target=frame.baseline.name, mode="baseline")
         elif metrics is not None:
             metrics.inc(EV.DEOPT_EXIT)
+        if metrics is not None:
+            metrics.record_time(EV.DEOPT_TRANSITION,
+                                time.perf_counter() - transition_start)
         return continuation(*lives)
 
     def external_exit(self, key: tuple, build: Callable, *,

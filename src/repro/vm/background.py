@@ -32,8 +32,9 @@ Correctness rests on three pieces:
 
 Telemetry: ``compile.queue`` / ``compile.start`` / ``compile.install``
 / ``compile.discard`` instants (workers never open spans — the span
-stack is single-threaded), a ``compile.queue_depth`` gauge, and a
-``compile.latency`` timer measuring enqueue-to-install.
+stack is single-threaded), a ``compile.queue_depth`` gauge, and two
+histogram-backed timers: ``compile.wait`` (enqueue to worker pickup)
+and ``compile.latency`` (enqueue to install).
 """
 
 from __future__ import annotations
@@ -218,6 +219,11 @@ class CompileQueue:
                 or engine.compile_generation(func.name) != job.box.generation):
             self._discard(job, "stale-generation")
             return
+        # queue wait: enqueue -> a worker picking the job up; histogram-
+        # backed, so a backlog shows up as a fat p99 here before it
+        # shows up anywhere else
+        engine.metrics.record_time(
+            EV.COMPILE_WAIT, time.perf_counter() - job.enqueued_at)
         if tel.enabled:
             tel.event(EV.COMPILE_START, function=func.name,
                       priority=job.priority)
@@ -288,6 +294,12 @@ class CompileQueue:
     def depth(self) -> int:
         with self._lock:
             return len(self._heap)
+
+    def pending_functions(self) -> List[str]:
+        """Names of functions queued or in flight (sampling-profiler
+        food: "what is the queue sitting on right now?")."""
+        with self._lock:
+            return [name for _, name in self._pending]
 
     @property
     def idle(self) -> bool:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..analysis.manager import default_manager
@@ -54,6 +55,7 @@ from ..ir.values import (
 from ..obs import events as EV
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import ambient as ambient_telemetry
+from ..obs.telemetry import production_telemetry
 from .background import CompileJob, CompileQueue, PublishBox
 from .decode import DecodeError, DecodedFunction, decode_function
 from .interpreter import Interpreter, Trap
@@ -86,10 +88,23 @@ def _mark_thunk(wrapper: Callable, prefix: str, func,
     function it fronts: ``__name__`` *and* ``__qualname__`` carry the
     ``prefix_funcname`` label, and ``__wrapped__`` points at the inner
     callable when there is one (probes, dispatch targets).
+
+    The label is also stamped onto the *code object* (``co_name``), so
+    a live frame running this thunk identifies itself to frame-stack
+    samplers — :class:`repro.obs.profiler.SamplingProfiler` attributes
+    wall time across tiers purely from these names, with zero per-op
+    instrumentation.  (Function ``__name__`` lives on the function
+    object and is invisible to ``sys._current_frames()``.)
     """
     label = f"{prefix}_{func.name}"
     wrapper.__name__ = label
     wrapper.__qualname__ = label
+    code = wrapper.__code__
+    try:
+        code = code.replace(co_name=label, co_qualname=label)
+    except TypeError:  # pre-3.11: no co_qualname field
+        code = code.replace(co_name=label)
+    wrapper.__code__ = code
     wrapper.__ir_function__ = func.name
     if wrapped is not None:
         wrapper.__wrapped__ = wrapped
@@ -167,7 +182,7 @@ class ExecutionEngine:
                  backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
                  telemetry=None, analysis_manager=None,
                  compile_queue: Optional[CompileQueue] = None,
-                 decode_fusion: bool = True):
+                 decode_fusion: bool = True, flight: bool = False):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
@@ -203,9 +218,18 @@ class ExecutionEngine:
         #: statistics: per-function call counts (profiling substrate)
         self.call_counts: Dict[str, int] = {}
         #: telemetry sink for structured events; defaults to the ambient
-        #: telemetry (the no-op unless a ``repro.obs.trace`` is active)
-        self.telemetry = (telemetry if telemetry is not None
-                          else ambient_telemetry())
+        #: telemetry (the no-op unless a ``repro.obs.trace`` is active).
+        #: ``flight=True`` attaches an always-on production telemetry
+        #: instead: a bounded flight-recorder ring plus percentile
+        #: histograms, cheap enough to leave on in ``tiered``/
+        #: ``tiered-bg`` service deployments (budgeted by
+        #: ``benchmarks/bench_obs.py``)
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif flight:
+            self.telemetry = production_telemetry()
+        else:
+            self.telemetry = ambient_telemetry()
         #: the single stats surface: cache/tier counters live here, shared
         #: with the telemetry's registry when tracing is on so event
         #: counts and engine counters are one namespace
@@ -857,9 +881,32 @@ class ExecutionEngine:
     # -- calling in ------------------------------------------------------------------------
 
     def call(self, func: Function, args: List[Any]):
-        """Call an IR function (by object) with runtime argument values."""
+        """Call an IR function (by object) with runtime argument values.
+
+        With a telemetry attached, each call's end-to-end latency folds
+        into the ``engine.dispatch`` timer — histogram-backed, so
+        ``p50/p99`` dispatch latency comes straight out of
+        ``stats_snapshot()["timers"]``.  A :class:`Trap` escaping a
+        top-level call is a flight-recorder anomaly: the ring is dumped
+        before the exception propagates, preserving the events that led
+        up to it.  With no telemetry the extra cost is one attribute
+        check.
+        """
         self.call_counts[func.name] = self.call_counts.get(func.name, 0) + 1
-        return self.get_compiled(func)(*args)
+        tel = self.telemetry
+        if not tel.enabled:
+            return self.get_compiled(func)(*args)
+        start = time.perf_counter()
+        try:
+            return self.get_compiled(func)(*args)
+        except Trap:
+            flight = tel.flight
+            if flight is not None:
+                flight.anomaly("uncaught-trap")
+            raise
+        finally:
+            self.metrics.record_time(EV.ENGINE_DISPATCH,
+                                     time.perf_counter() - start)
 
     def call_value(self, target, args: List[Any]):
         """Call a runtime callee value (function handle, native, ...)."""
@@ -891,28 +938,7 @@ class ExecutionEngine:
             snapshot["speculation"] = self.spec_manager.stats()
         if self._bg_queue is not None:
             snapshot["background"] = self._bg_queue.stats()
+        flight = self.telemetry.flight if self.telemetry.enabled else None
+        if flight is not None:
+            snapshot["flight"] = flight.stats()
         return snapshot
-
-    def tier_stats(self) -> Dict[str, Any]:
-        """Snapshot of cache/tier counters for tooling and benchmarks.
-
-        .. deprecated:: PR 2
-           Thin wrapper kept for back-compat; the counters now live in
-           :attr:`metrics` (a :class:`~repro.obs.MetricsRegistry`) — use
-           :meth:`stats_snapshot` for the full picture.
-        """
-        import warnings
-
-        warnings.warn(
-            "ExecutionEngine.tier_stats() is deprecated; use "
-            "stats_snapshot() (metrics registry + profiles) instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return {
-            "compile_count": self.compile_count,
-            "jit_cache_hits": self.jit_cache_hits,
-            "jit_cache_misses": self.jit_cache_misses,
-            "tier_promotions": self.tier_promotions,
-            "decode_fallbacks": self.decode_fallbacks,
-            "profiles": self.profiler.snapshot(),
-        }

@@ -1,0 +1,189 @@
+"""Unit + integration tests: the always-on flight recorder.
+
+Ring semantics (drop-oldest, dropped counter), the X-shaped span
+representation, anomaly triggers (deopt-thrash pin, invalidation storm,
+uncaught trap through the engine), and the Chrome dump.
+"""
+
+import json
+
+import pytest
+
+from repro.ir import parse_module
+from repro.obs import FlightRecorder, events, production_telemetry
+from repro.obs.export import chrome_events_from_raw, validate_chrome_trace
+from repro.vm import ExecutionEngine
+from repro.vm.interpreter import Trap
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        self.now += 1000
+        return self.now
+
+
+class TestRing:
+    def test_records_in_order(self):
+        rec = FlightRecorder(capacity=8, clock=FakeClock())
+        rec.instant(events.OSR_FIRE, {"kind": "open"})
+        rec.begin(events.JIT_COMPILE, {"function": "f"})
+        rec.end(events.JIT_COMPILE)
+        names = [e["name"] for e in rec.events]
+        assert names == [events.OSR_FIRE, events.JIT_COMPILE]
+
+    def test_drop_oldest_keeps_most_recent(self):
+        rec = FlightRecorder(capacity=4, clock=FakeClock())
+        for i in range(10):
+            rec.instant(events.OSR_FIRE, {"i": i})
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        assert len(rec) == 4
+        kept = [e["args"]["i"] for e in rec.events]
+        assert kept == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_spans_become_complete_events(self):
+        clock = FakeClock()
+        rec = FlightRecorder(capacity=8, clock=clock)
+        rec.begin(events.JIT_COMPILE, {"function": "f"})
+        seconds = rec.end(events.JIT_COMPILE)
+        (event,) = rec.events
+        assert event["ph"] == "X"
+        assert event["dur"] == 1000
+        assert seconds == pytest.approx(1000 / 1e9)
+
+    def test_unbalanced_end_raises(self):
+        rec = FlightRecorder(capacity=8)
+        with pytest.raises(RuntimeError):
+            rec.end(events.JIT_COMPILE)
+        rec.begin(events.JIT_COMPILE, {})
+        with pytest.raises(RuntimeError):
+            rec.end(events.OSR_INSERT)
+
+    def test_clear_refuses_with_open_spans(self):
+        rec = FlightRecorder(capacity=8)
+        rec.begin(events.JIT_COMPILE, {})
+        with pytest.raises(RuntimeError):
+            rec.clear()
+        rec.end(events.JIT_COMPILE)
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_dump_stays_valid_after_drops(self):
+        # a ring that lost the B half of a span would dump an unbalanced
+        # trace if spans were recorded as B/E pairs — the X shape is
+        # immune: whatever survives the ring validates
+        rec = FlightRecorder(capacity=3, clock=FakeClock())
+        for _ in range(5):
+            rec.begin(events.JIT_COMPILE, {})
+            rec.end(events.JIT_COMPILE)
+            rec.instant(events.OSR_FIRE, {})
+        chrome = chrome_events_from_raw(rec.events)
+        assert validate_chrome_trace(chrome) == []
+
+
+class TestAnomalies:
+    def test_spec_pinned_trips_deopt_thrash_anomaly(self):
+        rec = FlightRecorder(capacity=32, clock=FakeClock())
+        rec.instant(events.SPEC_PINNED, {"function": "f"})
+        assert [reason for reason, _ in rec.anomalies] == ["deopt-thrash-pin"]
+        assert rec.events[-1]["name"] == events.FLIGHT_ANOMALY
+        assert rec.events[-1]["args"]["reason"] == "deopt-thrash-pin"
+
+    def test_invalidation_storm_trips_once_per_burst(self):
+        rec = FlightRecorder(capacity=64, clock=FakeClock(),
+                             storm_threshold=4, storm_window_s=1.0)
+        for _ in range(3):
+            rec.instant(events.ENGINE_INVALIDATE, {})
+        assert rec.anomalies == []
+        rec.instant(events.ENGINE_INVALIDATE, {})
+        assert [r for r, _ in rec.anomalies] == ["invalidation-storm"]
+        # window cleared: the next burst must re-accumulate to trip again
+        for _ in range(3):
+            rec.instant(events.ENGINE_INVALIDATE, {})
+        assert len(rec.anomalies) == 1
+        rec.instant(events.ENGINE_INVALIDATE, {})
+        assert len(rec.anomalies) == 2
+
+    def test_slow_invalidations_never_trip(self):
+        clock = FakeClock()
+        rec = FlightRecorder(capacity=64, clock=clock,
+                             storm_threshold=3, storm_window_s=1e-6)
+        for _ in range(10):
+            clock.now += 10_000  # 10us apart, window is 1us
+            rec.instant(events.ENGINE_INVALIDATE, {})
+        assert rec.anomalies == []
+
+    def test_anomaly_auto_dumps_when_path_configured(self, tmp_path):
+        path = tmp_path / "anomaly.json"
+        rec = FlightRecorder(capacity=16, clock=FakeClock(),
+                             dump_path=str(path))
+        rec.instant(events.OSR_FIRE, {})
+        assert not path.exists()
+        rec.instant(events.SPEC_PINNED, {"function": "f"})
+        doc = json.loads(path.read_text())
+        names = [e["name"] for e in doc["traceEvents"]]
+        # the dump holds the history leading up to the anomaly
+        assert names == [events.OSR_FIRE, events.SPEC_PINNED,
+                         events.FLIGHT_ANOMALY]
+        assert doc["otherData"]["producer"] == "repro.obs.flight"
+
+    def test_uncaught_trap_is_an_engine_anomaly(self):
+        module = parse_module("""
+define i64 @boom(i64 %x) {
+entry:
+  %q = sdiv i64 %x, 0
+  ret i64 %q
+}
+""")
+        telemetry = production_telemetry(capacity=32)
+        engine = ExecutionEngine(module, tier="interp", telemetry=telemetry)
+        with pytest.raises(Trap):
+            engine.run("boom", 1)
+        assert [r for r, _ in telemetry.flight.anomalies] == ["uncaught-trap"]
+        assert telemetry.flight.stats()["anomalies"] == ["uncaught-trap"]
+
+
+class TestStatsAndDump:
+    def test_stats_shape(self):
+        rec = FlightRecorder(capacity=4, clock=FakeClock())
+        for _ in range(6):
+            rec.instant(events.OSR_FIRE, {})
+        stats = rec.stats()
+        assert stats == {"capacity": 4, "buffered": 4, "recorded": 6,
+                         "dropped": 2, "anomalies": []}
+
+    def test_dump_writes_chrome_document(self, tmp_path):
+        rec = FlightRecorder(capacity=8, clock=FakeClock())
+        rec.begin(events.JIT_COMPILE, {"function": "f"})
+        rec.end(events.JIT_COMPILE)
+        path = tmp_path / "flight.json"
+        rec.dump(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc["traceEvents"]) == []
+        assert doc["otherData"]["recorded"] == 1
+
+    def test_engine_stats_snapshot_includes_flight(self):
+        module = parse_module("""
+define i64 @f(i64 %x) {
+entry:
+  %y = add i64 %x, 1
+  ret i64 %y
+}
+""")
+        engine = ExecutionEngine(module, tier="tiered", call_threshold=2,
+                                 flight=True)
+        for _ in range(4):
+            engine.run("f", 1)
+        snapshot = engine.stats_snapshot()
+        assert snapshot["flight"]["recorded"] > 0
+        assert snapshot["flight"]["dropped"] == 0
+        # the dispatch timer fed the histogram-backed percentiles
+        assert snapshot["timers"][events.ENGINE_DISPATCH]["count"] == 4
+        assert snapshot["timers"][events.ENGINE_DISPATCH]["p50"] > 0

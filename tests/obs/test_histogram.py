@@ -1,0 +1,193 @@
+"""Unit tests: the log-bucketed latency histogram.
+
+Bucket math (exact small values, bounded relative error above),
+percentile clamping, deadlock-free merge, and correctness under
+concurrent writers — the property the always-on registry depends on.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import LogHistogram
+from repro.obs.histogram import SNAPSHOT_PERCENTILES
+
+
+class TestBucketMath:
+    def test_small_values_are_exact(self):
+        hist = LogHistogram(sub_bits=5)
+        for ns in range(32):
+            assert hist._bucket_index(ns) == ns
+            assert hist._bucket_mid_ns(ns) == float(ns)
+
+    def test_indices_are_monotonic_and_error_bounded(self):
+        hist = LogHistogram(sub_bits=5)
+        previous = -1
+        for ns in [1, 31, 32, 33, 63, 64, 100, 1000, 10**6, 10**9, 10**12]:
+            index = hist._bucket_index(ns)
+            assert index >= previous
+            previous = index
+            mid = hist._bucket_mid_ns(index)
+            # relative error bounded by the sub-bucket resolution (~3%)
+            assert abs(mid - ns) <= max(1.0, ns * 2 ** -hist._sub_bits)
+
+    def test_sub_bits_bounds(self):
+        with pytest.raises(ValueError):
+            LogHistogram(sub_bits=0)
+        with pytest.raises(ValueError):
+            LogHistogram(sub_bits=13)
+
+
+class TestRecording:
+    def test_scalar_summary(self):
+        hist = LogHistogram()
+        for seconds in (0.001, 0.002, 0.003):
+            hist.record(seconds)
+        assert hist.count == 3
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.003)
+        assert hist.total == pytest.approx(0.006)
+
+    def test_negative_observations_clamp_to_zero(self):
+        hist = LogHistogram()
+        hist.record(-1.0)
+        assert hist.min == 0.0
+
+    def test_empty_percentile_is_none(self):
+        hist = LogHistogram()
+        assert hist.percentile(50) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] is None
+
+    def test_percentile_bounds_checked(self):
+        hist = LogHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestPercentiles:
+    def test_uniform_distribution_percentiles(self):
+        hist = LogHistogram()
+        for ms in range(1, 1001):  # 1ms .. 1000ms
+            hist.record(ms / 1000.0)
+        # log buckets give ~3% relative error
+        assert hist.percentile(50) == pytest.approx(0.5, rel=0.05)
+        assert hist.percentile(90) == pytest.approx(0.9, rel=0.05)
+        assert hist.percentile(99) == pytest.approx(0.99, rel=0.05)
+        # p999 on exactly 1000 observations must pick the last value,
+        # not fall past it (the float-ceil off-by-one trap)
+        assert hist.percentile(99.9) == pytest.approx(1.0, rel=0.05)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = LogHistogram()
+        hist.record_ns(1_000_000)
+        for p in (0, 50, 100):
+            assert hist.percentile(p) == pytest.approx(0.001, rel=0.05)
+        # a single observation can never report beyond its own max
+        assert hist.percentile(100) <= hist.max
+
+    def test_single_spike_tail(self):
+        hist = LogHistogram()
+        for _ in range(99):
+            hist.record_ns(1000)
+        hist.record_ns(10_000_000)
+        assert hist.percentile(50) == pytest.approx(1e-6, rel=0.05)
+        assert hist.percentile(99.9) == pytest.approx(0.01, rel=0.05)
+
+    def test_snapshot_reports_all_percentile_keys(self):
+        hist = LogHistogram()
+        hist.record(0.5)
+        snap = hist.snapshot()
+        for key, _ in SNAPSHOT_PERCENTILES:
+            assert snap[key] is not None
+
+
+class TestMerge:
+    def test_merge_folds_counts_and_extrema(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.record(0.001)
+        b.record(0.1)
+        b.record(0.0001)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == pytest.approx(0.0001)
+        assert a.max == pytest.approx(0.1)
+        assert a.total == pytest.approx(0.1011)
+
+    def test_merge_requires_same_resolution(self):
+        with pytest.raises(ValueError):
+            LogHistogram(sub_bits=5).merge(LogHistogram(sub_bits=6))
+
+    def test_crossed_merges_do_not_deadlock(self):
+        # two threads merging in opposite directions: the source is
+        # snapshotted under its own lock before the destination locks,
+        # so no thread ever holds both
+        a, b = LogHistogram(), LogHistogram()
+        for i in range(100):
+            a.record_ns(i)
+            b.record_ns(i * 10)
+        threads = [
+            threading.Thread(target=lambda: [a.merge(b) for _ in range(50)]),
+            threading.Thread(target=lambda: [b.merge(a) for _ in range(50)]),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads), "merge deadlocked"
+
+
+class TestConcurrentWriters:
+    def test_no_lost_observations_under_contention(self):
+        hist = LogHistogram()
+        writers, per_writer = 8, 2000
+
+        def write(base):
+            for i in range(per_writer):
+                hist.record_ns(base + i)
+
+        threads = [threading.Thread(target=write, args=(w * 1000,))
+                   for w in range(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == writers * per_writer
+        assert sum(hist._counts.values()) == writers * per_writer
+
+    def test_percentiles_readable_while_writing(self):
+        hist = LogHistogram()
+        stop = threading.Event()
+        errors = []
+
+        def write():
+            i = 0
+            while not stop.is_set():
+                hist.record_ns(i % 100_000)
+                i += 1
+
+        def read():
+            try:
+                while not stop.is_set():
+                    for p in (50.0, 99.0, 99.9):
+                        value = hist.percentile(p)
+                        assert value is None or value >= 0.0
+                    hist.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write),
+                   threading.Thread(target=read)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert not errors
+        assert hist.count > 0

@@ -11,6 +11,7 @@ from repro.obs import (
     Telemetry,
     Tracer,
     ambient,
+    chrome_events_from_raw,
     chrome_trace_document,
     chrome_trace_events,
     events,
@@ -18,6 +19,7 @@ from repro.obs import (
     load_chrome_trace,
     set_ambient,
     stats_document,
+    summarize_chrome_events,
     trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -249,6 +251,42 @@ class TestExporters:
         chrome = chrome_trace_events(tel)
         chrome[0] = dict(chrome[0], ph="X")
         assert validate_chrome_trace(chrome)
+
+    def test_unbalanced_begin_is_flagged(self):
+        # an export cut off mid-span: B without its E
+        chrome = [{"name": events.JIT_COMPILE, "cat": "jit", "ph": "B",
+                   "ts": 1.0, "pid": 1, "tid": 1}]
+        problems = validate_chrome_trace(chrome)
+        assert any("begun but never ended" in p for p in problems)
+
+    def test_unbalanced_end_is_flagged(self):
+        # the dual corruption: E with no open span
+        chrome = [{"name": events.JIT_COMPILE, "cat": "jit", "ph": "E",
+                   "ts": 1.0, "pid": 1, "tid": 1}]
+        problems = validate_chrome_trace(chrome)
+        assert any("no open span" in p for p in problems)
+
+    def test_empty_streams_validate_clean(self):
+        assert events.validate_events([]) == []
+        assert validate_chrome_trace([]) == []
+
+    def test_complete_events_validate_and_summarize(self):
+        # the flight recorder's X shape: accepted by both validators,
+        # and its dur folds into the span totals
+        raw = [{"name": events.JIT_COMPILE, "ph": "X", "ts": 1000,
+                "dur": 2000, "args": {}}]
+        assert events.validate_events(raw) == []
+        chrome = chrome_events_from_raw(raw)
+        assert validate_chrome_trace(chrome) == []
+        assert chrome[0]["dur"] == 2.0  # ns -> us
+        summary = summarize_chrome_events(chrome)
+        assert summary[events.JIT_COMPILE]["total_us"] == 2.0
+
+    def test_complete_event_requires_integer_dur(self):
+        missing = [{"name": events.JIT_COMPILE, "ph": "X", "ts": 1000,
+                    "args": {}}]
+        assert any("without integer dur" in p
+                   for p in events.validate_events(missing))
 
 
 class TestCLI:

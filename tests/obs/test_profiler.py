@@ -1,0 +1,173 @@
+"""Unit + integration tests: the sampling profiler.
+
+Frame classification from stamped code-object names, live sampling of
+a thread running decoded/JIT code (zero per-op instrumentation), the
+compile-queue sampling, and the collapsed-stack export format.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.ir import parse_module
+from repro.obs import SamplingProfiler, classify_frame
+from repro.vm import ExecutionEngine
+
+LOOP = """
+define i64 @spin(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i1, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc1, %loop ]
+  %acc1 = add i64 %acc, %i
+  %i1 = add i64 %i, 1
+  %c = icmp sle i64 %i1, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i64 %acc1
+}
+"""
+
+
+class TestClassifyFrame:
+    def test_tier_prefixes(self):
+        assert classify_frame("_jit_spin") == ("jit", "spin")
+        assert classify_frame("decoded_spin") == ("decoded", "spin")
+        assert classify_frame("interp_spin") == ("interp", "spin")
+        assert classify_frame("tiered_spin") == ("tiered-dispatch", "spin")
+        assert classify_frame("tieredbg_spin") == (
+            "tiered-bg-dispatch", "spin")
+        assert classify_frame("trampoline_spin") == ("trampoline", "spin")
+
+    def test_unmarked_frames_are_ignored(self):
+        assert classify_frame("spin") is None
+        assert classify_frame("main") is None
+        assert classify_frame("") is None
+
+    def test_longest_prefix_wins(self):
+        # "tieredbg_" must not be swallowed by a shorter "tiered_" match
+        tier, func = classify_frame("tieredbg_f")
+        assert tier == "tiered-bg-dispatch"
+
+
+class TestSampling:
+    def _run_profiled(self, tier, calls=40, arg=60000):
+        module = parse_module(LOOP)
+        engine = ExecutionEngine(module, tier=tier, call_threshold=2)
+        profiler = SamplingProfiler(engine=engine, interval=0.001)
+        done = threading.Event()
+
+        def work():
+            for _ in range(calls):
+                engine.run("spin", arg)
+            done.set()
+
+        worker = threading.Thread(target=work)
+        with profiler:
+            worker.start()
+            worker.join(timeout=30.0)
+        assert done.is_set()
+        return profiler
+
+    def test_attributes_decoded_tier_with_zero_instrumentation(self):
+        profiler = self._run_profiled("decoded")
+        assert profiler.ticks > 0
+        assert profiler.attributed > 0
+        functions = {func for _, func in profiler.samples}
+        assert "spin" in functions
+        tiers = {tier for tier, _ in profiler.samples}
+        assert "decoded" in tiers
+
+    def test_tiered_run_attributes_jit_samples(self):
+        profiler = self._run_profiled("tiered")
+        tiers = {tier for tier, _ in profiler.samples}
+        # past the threshold all the loop time is in generated code
+        assert "jit" in tiers
+        shares = profiler.tier_shares()
+        assert shares and abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_own_thread_is_never_sampled(self):
+        profiler = SamplingProfiler(interval=0.001)
+        # sampling from the calling thread: only *other* threads count,
+        # and none of them run marked code right now
+        hits = profiler.sample_once()
+        assert hits == 0
+        assert profiler.idle_ticks == 1
+
+    def test_start_twice_raises_and_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        with pytest.raises(RuntimeError):
+            profiler.start()
+        profiler.stop()
+        profiler.stop()
+        assert profiler.wall_seconds > 0
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+
+class TestOutputs:
+    def _fake_profiler(self):
+        profiler = SamplingProfiler()
+        profiler.started_at = 0.0
+        profiler.stopped_at = 1.0
+        profiler.ticks = 10
+        profiler.attributed = 8
+        profiler.idle_ticks = 2
+        profiler.samples[("jit", "hot")] = 6
+        profiler.samples[("decoded", "warm")] = 2
+        profiler.stacks[(("tiered-dispatch", "hot"), ("jit", "hot"))] = 6
+        profiler.stacks[(("decoded", "warm"),)] = 2
+        return profiler
+
+    def test_tier_shares_and_seconds(self):
+        profiler = self._fake_profiler()
+        shares = profiler.tier_shares()
+        assert shares["jit"] == pytest.approx(0.75)
+        assert shares["decoded"] == pytest.approx(0.25)
+        seconds = profiler.tier_seconds()
+        # 6 of 10 ticks over a 1s wall -> 0.6s attributed to jit
+        assert seconds["jit"] == pytest.approx(0.6)
+
+    def test_collapsed_stack_format(self):
+        profiler = self._fake_profiler()
+        lines = profiler.collapsed()
+        assert lines[0] == "hot [tiered-dispatch];hot [jit] 6"
+        assert lines[1] == "warm [decoded] 2"
+
+    def test_snapshot_and_report(self):
+        profiler = self._fake_profiler()
+        snap = profiler.snapshot()
+        assert snap["ticks"] == 10
+        assert snap["functions"]["hot [jit]"] == 6
+        report = profiler.report()
+        assert "jit" in report and "75.0%" in report
+
+    def test_empty_profiler_report(self):
+        profiler = SamplingProfiler()
+        assert "(no attributed samples)" in profiler.report()
+        assert profiler.tier_shares() == {}
+        assert profiler.tier_seconds() == {}
+        assert profiler.collapsed() == []
+
+
+class TestQueueSampling:
+    def test_background_queue_depth_is_sampled(self):
+        module = parse_module(LOOP)
+        engine = ExecutionEngine(module, tier="tiered-bg", call_threshold=2)
+        profiler = SamplingProfiler(engine=engine, interval=0.001)
+        for _ in range(4):
+            engine.run("spin", 100)
+        engine.drain_background(10.0)
+        profiler.sample_once()
+        assert profiler.queue_depths == [0]
+        engine.shutdown_background()
+
+    def test_engineless_profiler_samples_no_queue(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        assert profiler.queue_depths == []

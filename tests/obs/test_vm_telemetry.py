@@ -3,12 +3,10 @@
 Covers the event streams real runs produce (well-formedness and
 vocabulary), the single-stats-surface invariant (engine counters ==
 telemetry counters, incremented exactly once), the invalidate-demotes
-regression, the deprecated ``tier_stats()`` wrapper, and the no-op
-fast path.
+regression, the ``stats_snapshot()`` surface, and the no-op fast path.
 """
 
 import time
-import warnings
 
 import pytest
 
@@ -269,18 +267,11 @@ class TestInvalidateDemotes:
 
 
 class TestStatsSurface:
-    def test_tier_stats_is_deprecated_but_compatible(self):
+    def test_tier_stats_shim_is_gone(self):
+        # deprecated since PR 2, warned since PR 3, removed now:
+        # stats_snapshot() is the one stats surface
         engine, _ = _tiered(call_threshold=2)
-        for _ in range(3):
-            engine.run("sumto", 5)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            stats = engine.tier_stats()
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        assert stats["tier_promotions"] == 1
-        assert stats["compile_count"] == engine.compile_count
-        assert stats["profiles"]["sumto"]["promoted"]
+        assert not hasattr(engine, "tier_stats")
 
     def test_stats_snapshot_shape(self):
         engine, _ = _tiered(call_threshold=2)

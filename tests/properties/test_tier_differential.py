@@ -88,8 +88,8 @@ class TestIntPrograms:
         engine = ExecutionEngine(module, tier="tiered", call_threshold=3)
         results = {engine.run("prog", *args) for _ in range(6)}
         assert len(results) == 1
-        stats = engine.tier_stats()
-        assert stats["tier_promotions"] == 1
+        snapshot = engine.stats_snapshot()
+        assert snapshot["counters"]["tier.promote"] == 1
 
 
 class TestFloatPrograms:

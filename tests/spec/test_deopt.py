@@ -179,6 +179,18 @@ class TestTelemetry:
         assert EV.DEOPT_CONTINUATION in names
         assert EV.SPEC_RESPECIALIZE in names
 
+    def test_deopt_transition_timer_records_per_exit(self):
+        tel = Telemetry()
+        engine, func = _engine(telemetry=tel)
+        _warm(engine)
+        engine.run("poly", 9, 25)   # cold deopt: continuation generated
+        engine.run("poly", 9, 25)   # warm deopt: continuation cache hit
+        stats = tel.metrics.timer_stats(EV.DEOPT_TRANSITION)
+        assert stats is not None
+        assert stats["count"] == engine.deopt_manager.deopt_count >= 2
+        assert 0 < stats["min"] <= stats["max"]
+        assert stats["p50"] is not None
+
     def test_deopt_exit_modes(self):
         tel = Telemetry()
         engine, func = _engine(telemetry=tel)

@@ -121,6 +121,27 @@ def test_background_smoke_rows():
     assert "workload" in format_background(rows)
 
 
+def test_obs_smoke_rows():
+    from benchmarks.bench_obs import format_obs, run_obs, suite_mean_overhead
+
+    rows, latency = run_obs(smoke=True)
+    assert rows
+    for row in rows:
+        assert row.off_s > 0
+        assert row.on_s > 0
+    # smoke timings are noisy; allow slack over the real 1.05 budget,
+    # which `python -m benchmarks obs` (make bench-obs) enforces
+    assert suite_mean_overhead(rows) < 1.5, rows
+    # the always-on telemetry captured real latency distributions
+    dispatch = latency["engine.dispatch"]
+    assert dispatch["count"] > 0
+    assert dispatch["p50"] <= dispatch["p99"] <= dispatch["max"]
+    assert latency["jit.compile"]["count"] > 0
+    json.dumps([row._asdict() for row in rows], default=str)
+    json.dumps(latency, default=str)
+    assert "suite mean" in format_obs(rows, latency)
+
+
 def test_analysis_smoke_rows():
     from benchmarks.bench_analysis import format_analysis, run_analysis
 

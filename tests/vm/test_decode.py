@@ -200,15 +200,14 @@ class TestTierUp:
             assert engine.run("sumto", 5) == 15
         assert engine.tier_promotions == 2  # re-promoted after demotion
 
-    def test_tier_stats_shape(self):
+    def test_stats_snapshot_shape(self):
         engine, module = _engine(LOOP, tier="tiered", call_threshold=2)
         for _ in range(3):
             engine.run("sumto", 5)
-        with pytest.deprecated_call():
-            stats = engine.tier_stats()
-        assert stats["tier_promotions"] == 1
-        assert "sumto" in stats["profiles"]
-        assert stats["profiles"]["sumto"]["calls"] >= 2
+        snapshot = engine.stats_snapshot()
+        assert snapshot["counters"]["tier.promote"] == 1
+        assert "sumto" in snapshot["profiles"]
+        assert snapshot["profiles"]["sumto"]["calls"] >= 2
 
     def test_default_engine_is_tiered(self):
         module = parse_module(LOOP)
