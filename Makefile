@@ -4,7 +4,7 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering bench-obs trace-smoke
+.PHONY: test stress bench bench-all bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering bench-obs bench-serve trace-smoke serve-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -48,11 +48,28 @@ bench-lowering:
 bench-obs:
 	$(PP) $(PYTHON) -m benchmarks obs --json BENCH_obs.json
 
+# serving: persistent-cache warm starts (>= 5x floor) and the
+# multi-tenant VM server's p50/p99 (backs docs/serving.md)
+bench-serve:
+	$(PP) $(PYTHON) -m benchmarks serve --json BENCH_serve.json
+
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:
 	$(PP) $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json
+
+# every benchmark group, one JSON per group (long)
+bench-all: bench-tiers bench-background bench-spec bench-analysis \
+		bench-lowering bench-obs bench-serve
 
 # traced shootout run: validates the event stream and the Chrome export,
 # writes the trace for loading into Perfetto / chrome://tracing
 trace-smoke:
 	$(PP) $(PYTHON) -m repro.obs smoke --out trace-smoke.json
+
+# warm-start round trip against a throwaway cache: a cold run populates
+# it, a second process must be served entirely from disk
+serve-smoke:
+	rm -rf .repro-cache-smoke
+	$(PP) $(PYTHON) -m repro.serve smoke --cache .repro-cache-smoke
+	$(PP) $(PYTHON) -m repro.serve smoke --cache .repro-cache-smoke --expect-hits
+	rm -rf .repro-cache-smoke

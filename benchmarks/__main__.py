@@ -15,9 +15,10 @@ speculation speedup and deopt cost from ``bench_spec_deopt.py``) and
 ``bench_analysis.py``), ``lowering`` (AST-direct codegen latency,
 decoded-tier superinstruction fusion and OSR intrusiveness from
 ``bench_lowering.py``), ``obs`` (always-on telemetry overhead and the
-dispatch/compile latency percentiles from ``bench_obs.py``) and
-``q1``–``q4`` (the paper's evaluation drivers from
-:mod:`repro.experiments`).
+dispatch/compile latency percentiles from ``bench_obs.py``), ``serve``
+(persistent-cache warm starts and the multi-tenant VM server from
+``bench_serve.py``) and ``q1``–``q4`` (the paper's evaluation drivers
+from :mod:`repro.experiments`).
 
 The JSON document maps each target to a list of row objects plus an
 ``env`` block recording the interpreter version and trial count, so runs
@@ -57,10 +58,16 @@ from .bench_lowering import (
     run_intrusiveness,
 )
 from .bench_obs import format_obs, run_obs
+from .bench_serve import (
+    format_serve,
+    format_warmstart,
+    run_serve,
+    run_warmstart,
+)
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
 TARGETS = ("tiers", "cache", "background", "spec", "analysis", "lowering",
-           "obs", "q1", "q2", "q3", "q4")
+           "obs", "serve", "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -169,6 +176,15 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             rows, latency = run_obs(trials=args.trials, smoke=args.smoke)
             print(format_obs(rows, latency))
             results["obs_latency"] = latency
+        elif target == "serve":
+            print("Serving — persistent warm starts and the VM server")
+            print(banner)
+            warm_rows = run_warmstart(trials=args.trials, smoke=args.smoke)
+            print(format_warmstart(warm_rows))
+            serve_rows = run_serve(trials=args.trials, smoke=args.smoke)
+            print(format_serve(serve_rows))
+            results["warmstart"] = _rows_to_json(warm_rows)
+            rows = serve_rows
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)

@@ -43,6 +43,10 @@ name                      kind   emitted when
 ``compile.install``       event  the finished code was atomically published
 ``compile.discard``       event  a stale in-flight compile was dropped (generation raced)
 ``flight.anomaly``        event  the flight recorder tripped an anomaly trigger
+``diskcache.hit``         event  a JIT miss was served from the persistent disk cache
+``diskcache.miss``        event  the disk cache had no valid entry for the stamp
+``diskcache.write``       event  a fresh artifact was written through to disk
+``serve.request``         event  the VM server finished one request (ok or error)
 ========================  =====  ==================================================
 
 *event* entries are Chrome-trace instants (``ph: "i"``); *span* entries
@@ -93,16 +97,22 @@ COMPILE_START = "compile.start"
 COMPILE_INSTALL = "compile.install"
 COMPILE_DISCARD = "compile.discard"
 FLIGHT_ANOMALY = "flight.anomaly"
+DISKCACHE_HIT = "diskcache.hit"
+DISKCACHE_MISS = "diskcache.miss"
+DISKCACHE_WRITE = "diskcache.write"
+SERVE_REQUEST = "serve.request"
 
 #: metrics-only names (no trace events): the background queue's depth
 #: gauge, its enqueue-to-install latency and enqueue-to-start wait
-#: timers, the per-call dispatch latency timer, and the deopt OSR-exit
-#: transition-cost timer — each backed by a percentile histogram
+#: timers, the per-call dispatch latency timer, the deopt OSR-exit
+#: transition-cost timer, and the VM server's per-request latency
+#: timer — each backed by a percentile histogram
 COMPILE_QUEUE_DEPTH = "compile.queue_depth"
 COMPILE_LATENCY = "compile.latency"
 COMPILE_WAIT = "compile.wait"
 ENGINE_DISPATCH = "engine.dispatch"
 DEOPT_TRANSITION = "deopt.transition"
+SERVE_LATENCY = "serve.latency"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -133,6 +143,10 @@ INSTANT_NAMES = frozenset({
     COMPILE_INSTALL,
     COMPILE_DISCARD,
     FLIGHT_ANOMALY,
+    DISKCACHE_HIT,
+    DISKCACHE_MISS,
+    DISKCACHE_WRITE,
+    SERVE_REQUEST,
 })
 
 #: names emitted as begin/end span pairs

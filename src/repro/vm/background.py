@@ -247,6 +247,12 @@ class CompileQueue:
                           generation=job.box.generation)
             else:
                 engine.metrics.inc(EV.COMPILE_INSTALL)
+            # write-through: persist the freshly published artifact so
+            # the *next* process warm-starts it.  Off the engine lock,
+            # on the worker thread — disk latency never blocks callers.
+            disk_store = getattr(engine, "disk_store", None)
+            if disk_store is not None:
+                disk_store(func, artifact)
         else:
             self._discard(job, "stale-generation")
 

@@ -38,6 +38,7 @@ lock-free dictionary reads.
 from __future__ import annotations
 
 import math
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -182,11 +183,21 @@ class ExecutionEngine:
                  backedge_threshold: int = DEFAULT_BACKEDGE_THRESHOLD,
                  telemetry=None, analysis_manager=None,
                  compile_queue: Optional[CompileQueue] = None,
-                 decode_fusion: bool = True, flight: bool = False):
+                 decode_fusion: bool = True, flight: bool = False,
+                 disk_cache=None):
         if tier not in TIERS:
             raise ValueError(f"unknown tier {tier!r}")
         self.module = module
         self.tier = tier
+        #: persistent artifact store: a DiskCodeCache, or a path to open
+        #: one at (str/PathLike).  When attached, JIT cache misses
+        #: consult disk before compiling and fresh compiles (inline or
+        #: background) write through — the process warm-start path.
+        if isinstance(disk_cache, (str, os.PathLike)):
+            from ..serve.diskcache import DiskCodeCache
+
+            disk_cache = DiskCodeCache(disk_cache)
+        self.disk_cache = disk_cache
         #: superinstruction fusion in the decoded tier (``fuse=`` for
         #: :func:`decode_function`); off only for A/B comparison runs
         self.decode_fusion = decode_fusion
@@ -480,8 +491,8 @@ class ExecutionEngine:
 
         return _mark_thunk(run, "interp", func)
 
-    def _make_decoded_thunk(self, func: Function, profile=None
-                            ) -> Callable:
+    def _make_decoded_thunk(self, func: Function, profile=None,
+                            profile_resolver=None) -> Callable:
         """Thunk running ``func`` in the pre-decoded interpreter.
 
         Functions the decoder cannot lower fall back to the tree-walker
@@ -491,6 +502,11 @@ class ExecutionEngine:
         ``_decoded`` cache is consulted first (version-checked), so the
         tiered dispatchers and a pinned ``decoded`` tier share one
         decode of the same body instead of re-decoding per thunk.
+
+        ``profile_resolver`` (a zero-argument callable returning the
+        profile to charge) takes precedence over ``profile``: the tiered
+        dispatchers pass one so backedge counts land in the *current
+        tenant's* profile when the profiler is tenant-scoped.
         """
         decoded = self._decoded.get(func.name)
         if (decoded is None or decoded.func is not func
@@ -520,7 +536,7 @@ class ExecutionEngine:
                 else:
                     self.metrics.inc(EV.DECODE_FUSE)
         limit = self._interp_step_limit
-        if profile is None and limit is None:
+        if profile is None and profile_resolver is None and limit is None:
             run = decoded.run
 
             def run_fast(*args):
@@ -528,8 +544,12 @@ class ExecutionEngine:
 
             return _mark_thunk(run_fast, "decoded", func, wrapped=run)
 
-        def run_counted(*args):
-            return decoded.run_counted(args, limit, profile)
+        if profile_resolver is not None:
+            def run_counted(*args):
+                return decoded.run_counted(args, limit, profile_resolver())
+        else:
+            def run_counted(*args):
+                return decoded.run_counted(args, limit, profile)
 
         return _mark_thunk(run_counted, "decoded", func)
 
@@ -542,17 +562,25 @@ class ExecutionEngine:
         (fed by the decoded tier's profiled loop) lets a function that is
         called once but loops hot promote on its *next* call — replacing
         a loop mid-flight is the OSR machinery's job, not the tier-up's.
+
+        The profile is resolved per call through the profiler so a
+        tenant scope installed by :class:`~repro.serve.server.VMServer`
+        charges hotness to the requesting tenant's profile — one
+        tenant's traffic never trips another's thresholds.
         """
         engine = self
         profiler = self.profiler
-        profile = profiler.profile_for(func.name)
-        baseline = self._make_decoded_thunk(func, profile=profile)
+        resolve = profiler.profile_for
+        name = func.name
+        baseline = self._make_decoded_thunk(
+            func, profile_resolver=lambda: resolve(name))
         promoted_box: List[Optional[Callable]] = [None]
 
         def dispatch(*args):
             promoted = promoted_box[0]
             if promoted is not None:
                 return promoted(*args)
+            profile = resolve(name)
             profile.calls += 1
             if profiler.should_promote(profile):
                 promoted = engine._promote_inline(func, profile)
@@ -595,6 +623,51 @@ class ExecutionEngine:
         if handle is not None:
             handle.invalidate()
 
+    # -- persistent code cache ----------------------------------------------------
+
+    def disk_lookup(self, func: Function):
+        """Consult the attached disk cache for ``func``'s artifact.
+
+        Returns the deserialized :class:`~repro.vm.jit.CompiledCode` or
+        None (no cache attached, key absent, or the entry was rejected).
+        Emits ``diskcache.hit``/``diskcache.miss`` so a warm start is
+        visible in traces and metrics.
+        """
+        cache = self.disk_cache
+        if cache is None:
+            return None
+        artifact = cache.load(func, self.module)
+        tel = self.telemetry
+        if artifact is not None:
+            if tel.enabled:
+                tel.event(EV.DISKCACHE_HIT, function=func.name,
+                          code_version=func.code_version)
+            else:
+                self.metrics.inc(EV.DISKCACHE_HIT)
+        else:
+            if tel.enabled:
+                tel.event(EV.DISKCACHE_MISS, function=func.name)
+            else:
+                self.metrics.inc(EV.DISKCACHE_MISS)
+        return artifact
+
+    def disk_store(self, func: Function, artifact) -> bool:
+        """Write a freshly generated artifact through to the disk cache
+        (no-op without one).  Called by the JIT's cold path and by the
+        background queue's workers after a successful publish."""
+        cache = self.disk_cache
+        if cache is None:
+            return False
+        if not cache.store(func, artifact):
+            return False
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(EV.DISKCACHE_WRITE, function=func.name,
+                      code_version=func.code_version)
+        else:
+            self.metrics.inc(EV.DISKCACHE_WRITE)
+        return True
+
     def _make_background_dispatcher(self, func: Function) -> Callable:
         """The ``tiered-bg`` tier: the tiered promotion policy with the
         compile moved off the calling thread.
@@ -610,8 +683,10 @@ class ExecutionEngine:
         """
         engine = self
         profiler = self.profiler
-        profile = profiler.profile_for(func.name)
-        baseline = self._make_decoded_thunk(func, profile=profile)
+        resolve = profiler.profile_for
+        name = func.name
+        baseline = self._make_decoded_thunk(
+            func, profile_resolver=lambda: resolve(name))
         box = PublishBox(self.compile_generation(func.name))
         submitted = [False]
 
@@ -619,6 +694,7 @@ class ExecutionEngine:
             promoted = box.value
             if promoted is not None:
                 return promoted(*args)
+            profile = resolve(name)
             profile.calls += 1
             if (not submitted[0] and not box.failed
                     and profiler.should_promote(profile)):
@@ -749,9 +825,11 @@ class ExecutionEngine:
         engine = self
         profiler = self.profiler
         spec = self.spec_manager
-        profile = profiler.profile_for(func.name)
+        resolve = profiler.profile_for
+        name = func.name
         state = spec.state_for(func)
-        baseline = self._make_decoded_thunk(func, profile=profile)
+        baseline = self._make_decoded_thunk(
+            func, profile_resolver=lambda: resolve(name))
         promoted_box: List[Optional[Callable]] = [None]
 
         def dispatch(*args):
@@ -759,6 +837,7 @@ class ExecutionEngine:
             if active is not None:
                 return active(*args)
             promoted = promoted_box[0]
+            profile = resolve(name)
             if promoted is not None:
                 profile.record_args(args)
                 spec.maybe_specialize(func, profile)
@@ -929,7 +1008,12 @@ class ExecutionEngine:
         """
         snapshot = self.metrics.snapshot()
         snapshot["profiles"] = self.profiler.snapshot()
+        tenants = self.profiler.tenant_snapshot()
+        if tenants:
+            snapshot["tenants"] = tenants
         snapshot["analysis"] = self.analysis.stats()
+        if self.disk_cache is not None:
+            snapshot["diskcache"] = self.disk_cache.stats()
         snapshot["fusion"] = {
             name: dict(decoded.fusion)
             for name, decoded in list(self._decoded.items())

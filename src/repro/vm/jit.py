@@ -60,15 +60,17 @@ re-lowering instead of storing it.
 from __future__ import annotations
 
 import ast
+import marshal
 import math
 import re
 import struct
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..ir import types as T
 from ..ir.constexpr import ConstantIntToPtr
-from ..ir.function import BasicBlock, Function
+from ..ir.function import BasicBlock, Function, Module
 from ..ir.instructions import (
     AllocaInst,
     BinaryInst,
@@ -109,6 +111,17 @@ from .runtime import HANDLE_HEAP, NULL, MemoryBuffer, load_scalar, store_scalar
 
 class JITError(Exception):
     """Raised when a function cannot be lowered to Python."""
+
+
+class UnserializableArtifact(JITError):
+    """Raised when a :class:`CompiledCode` cannot be marshaled to the
+    process-independent disk format (e.g. it bakes engine-session object
+    handles in).  The message names every offending binding."""
+
+
+class ArtifactFormatError(JITError):
+    """Raised when serialized artifact bytes are corrupt, truncated, or
+    written by an incompatible format/interpreter version."""
 
 
 # -- integer semantics helpers (bound into every compiled namespace) ----------
@@ -371,6 +384,168 @@ class CompiledCode:
         compiled.__ir_source__ = self.ir_source
         compiled.__ir_artifact__ = self
         return compiled
+
+
+# -- artifact (de)serialization ------------------------------------------------
+#
+# A CompiledCode is already engine-independent; these hooks make it
+# *process*-independent: the code object marshals as-is, and every
+# binding descriptor is rewritten into a marshal-safe form that a fresh
+# process can re-resolve against its own parse of the module (functions
+# and globals by name, IR types structurally).  The one thing that can
+# never cross a process boundary is an interned object-table handle — a
+# ``("resolve", n)`` descriptor bakes a session-specific integer into
+# the code, so artifacts carrying one (OSR stubs) are refused.
+
+#: bump whenever the payload layout or binding encoding changes; part of
+#: both the disk-cache key and the embedded payload, so old entries are
+#: rejected instead of misread
+DISK_FORMAT_VERSION = 1
+
+#: marshal data version 2: versions >= 3 emit identity-based
+#: back-references for repeated objects, making the byte stream depend
+#: on the process's string-interning history; version 2 is pure content,
+#: which the cross-process determinism regression pins
+_MARSHAL_VERSION = 2
+
+
+def audit_bindings(bindings: Dict[str, Tuple]) -> None:
+    """Fail fast if any binding descriptor cannot cross a process.
+
+    Raises :class:`UnserializableArtifact` naming every offending slot —
+    this is the guard that keeps the disk format from silently drifting
+    when a new binding kind (or a non-marshalable static value) is
+    introduced.
+    """
+    problems: List[str] = []
+    for name, descriptor in bindings.items():
+        kind = descriptor[0]
+        if kind == "static":
+            value = descriptor[1]
+            if isinstance(value, T.IntType):
+                continue  # encoded structurally
+            try:
+                marshal.dumps(value, _MARSHAL_VERSION)
+            except (ValueError, TypeError):
+                problems.append(
+                    f"{name}: static value of type "
+                    f"{type(value).__name__} is not marshalable"
+                )
+        elif kind in ("handle", "trampoline"):
+            if not isinstance(descriptor[1], Function):
+                problems.append(
+                    f"{name}: {kind} target is not an IR Function"
+                )
+        elif kind == "global":
+            if not isinstance(descriptor[1], GlobalVariable):
+                problems.append(
+                    f"{name}: global target is not a GlobalVariable"
+                )
+        elif kind == "resolve":
+            problems.append(
+                f"{name}: bakes engine-session object-table handle "
+                f"{descriptor[1]!r} (OSR stub artifacts are per-process)"
+            )
+        elif kind not in ("objtab", "deopt", "deoptforce"):
+            problems.append(f"{name}: unknown binding kind {kind!r}")
+    if problems:
+        raise UnserializableArtifact(
+            "artifact cannot be serialized: " + "; ".join(problems)
+        )
+
+
+def _encode_binding(descriptor: Tuple) -> Tuple:
+    kind = descriptor[0]
+    if kind == "static":
+        value = descriptor[1]
+        if isinstance(value, T.IntType):
+            return ("itype", value.bits)
+        return ("static", value)
+    if kind in ("handle", "trampoline", "global"):
+        return (kind, descriptor[1].name)
+    # objtab / deopt / deoptforce carry no payload
+    return (kind,)
+
+
+def _decode_binding(encoded: Tuple, module: Module) -> Tuple:
+    kind = encoded[0]
+    if kind == "itype":
+        return ("static", T.int_type(encoded[1]))
+    if kind == "static":
+        return ("static", encoded[1])
+    if kind in ("handle", "trampoline"):
+        return (kind, module.get_function(encoded[1]))
+    if kind == "global":
+        return (kind, module.get_global(encoded[1]))
+    if kind in ("objtab", "deopt", "deoptforce"):
+        return (kind,)
+    raise ArtifactFormatError(f"unknown serialized binding kind {kind!r}")
+
+
+def serialize_artifact(func: Function, artifact: CompiledCode) -> bytes:
+    """Marshal ``artifact`` to engine- and process-independent bytes.
+
+    Deterministic: the same IR body always yields byte-identical output
+    (codegen is deterministic, bindings keep insertion order, and
+    ``marshal`` is content-addressed), which the determinism regression
+    test pins across fresh processes.
+
+    Raises :class:`UnserializableArtifact` for artifacts that bake
+    session state in (see :func:`audit_bindings`).
+    """
+    audit_bindings(artifact.bindings)
+    payload = {
+        "format": DISK_FORMAT_VERSION,
+        "function": func.name,
+        "py_name": artifact.py_name,
+        "version": artifact.version,
+        "shape": tuple(artifact.shape),
+        "bindings": [
+            (name, _encode_binding(descriptor))
+            for name, descriptor in artifact.bindings.items()
+        ],
+        "code": artifact.code,
+    }
+    return marshal.dumps(payload, _MARSHAL_VERSION)
+
+
+def deserialize_artifact(data: bytes, module: Module) -> CompiledCode:
+    """Rebuild a :class:`CompiledCode` from :func:`serialize_artifact`
+    bytes, re-resolving name references against ``module``.
+
+    Raises :class:`ArtifactFormatError` on corrupt or version-skewed
+    bytes, and when a referenced function or global no longer exists in
+    the module — callers (the disk cache) treat every failure as a cache
+    miss and fall back to recompiling.
+    """
+    try:
+        payload = marshal.loads(data)
+    except (ValueError, EOFError, TypeError) as error:
+        raise ArtifactFormatError(f"unreadable artifact: {error}") from None
+    if not isinstance(payload, dict):
+        raise ArtifactFormatError("artifact payload is not a dict")
+    if payload.get("format") != DISK_FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"format version {payload.get('format')!r} != "
+            f"{DISK_FORMAT_VERSION}"
+        )
+    try:
+        bindings = {
+            name: _decode_binding(tuple(encoded), module)
+            for name, encoded in payload["bindings"]
+        }
+        code = payload["code"]
+        py_name = payload["py_name"]
+        version = payload["version"]
+        shape = tuple(payload["shape"])
+        function_name = payload["function"]
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise ArtifactFormatError(f"malformed payload: {error}") from None
+    source_hook = None
+    if module.has_function(function_name):
+        source_hook = _make_source_hook(module.get_function(function_name))
+    return CompiledCode(code, py_name, bindings, version, shape,
+                        source_hook=source_hook)
 
 
 class FunctionCompiler:
@@ -1007,6 +1182,19 @@ def _make_source_hook(func: Function) -> Callable[[], str]:
 #: + the ``_cached_code`` publication must not interleave
 _codegen_lock = threading.Lock()
 
+_MAIN_THREAD = threading.main_thread()
+
+
+def _spans_ok() -> bool:
+    """Spans carry one B/E stack per tracer — a single-thread affair.
+
+    Compiles triggered off the main thread (background queue workers,
+    VM-server request threads) must therefore not open trace spans; they
+    fall back to instants plus direct timer recording, which is
+    thread-safe and preserves the percentile data.
+    """
+    return threading.current_thread() is _MAIN_THREAD
+
 
 def codegen_function(func: Function) -> CompiledCode:
     """Generate (or fetch from the function's cache) the compiled artifact.
@@ -1024,12 +1212,32 @@ def codegen_function(func: Function) -> CompiledCode:
         if cached is not None and cached.matches(func):
             return cached
         tel = ambient_telemetry()
-        if tel.enabled:
+        if tel.enabled and _spans_ok():
             with tel.span(EV.CODEGEN_BUILD, function=func.name,
                           code_version=func.code_version):
                 artifact = FunctionCompiler(func).compile()
+        elif tel.enabled:
+            start = time.perf_counter()
+            artifact = FunctionCompiler(func).compile()
+            tel.metrics.record_time(EV.CODEGEN_BUILD,
+                                    time.perf_counter() - start)
         else:
             artifact = FunctionCompiler(func).compile()
+        func._cached_code = artifact
+    return artifact
+
+
+def publish_artifact(func: Function, artifact: CompiledCode) -> CompiledCode:
+    """Install an externally produced (deserialized) artifact into the
+    function's in-memory cache, unless a valid one is already there.
+
+    Returns the artifact that ended up cached — racing threads agree on
+    one winner, same as :func:`codegen_function`'s publication.
+    """
+    with _codegen_lock:
+        cached = func._cached_code
+        if cached is not None and cached.matches(func):
+            return cached
         func._cached_code = artifact
     return artifact
 
@@ -1038,11 +1246,16 @@ def compile_function(func: Function, engine):
     """Compile an IR function to a Python callable bound to ``engine``.
 
     Warm path (the function's cached artifact is still valid): descriptor
-    resolution + ``exec`` only.  Cold path: AST build and ``compile()``
-    first.  Which path ran is recorded in the engine's metrics
-    (``jit.cache_hit``/``jit.cache_miss``), and an attached telemetry
-    additionally traces a ``jit.compile`` span around cold code
-    generation (with the ``codegen.build`` span nested inside it).
+    resolution + ``exec`` only.  Cold path: the engine's persistent disk
+    cache (when one is attached) is consulted first — a disk hit
+    deserializes and installs the stored artifact instead of compiling —
+    then AST build and ``compile()``, with the fresh artifact written
+    through to disk.  Which path ran is recorded in the engine's metrics
+    (``jit.cache_hit``/``jit.cache_miss`` plus
+    ``diskcache.hit``/``diskcache.miss``/``diskcache.write``), and an
+    attached telemetry additionally traces a ``jit.compile`` span around
+    cold code generation (with the ``codegen.build`` span nested inside
+    it).
     """
     cached = func._cached_code
     hit = cached is not None and cached.matches(func)
@@ -1057,11 +1270,27 @@ def compile_function(func: Function, engine):
         return cached.instantiate(engine)
     if tel is not None and tel.enabled:
         tel.event(EV.JIT_CACHE_MISS, function=func.name)
+    elif metrics is not None:
+        metrics.inc(EV.JIT_CACHE_MISS)
+    # in-memory miss: a warm disk cache turns the cold compile into a
+    # deserialize + instantiate (the process-independent warm start)
+    disk_lookup = getattr(engine, "disk_lookup", None)
+    if disk_lookup is not None:
+        artifact = disk_lookup(func)
+        if artifact is not None:
+            return publish_artifact(func, artifact).instantiate(engine)
+    if tel is not None and tel.enabled and _spans_ok():
         with tel.span(EV.JIT_COMPILE, function=func.name,
                       code_version=func.code_version):
             artifact = codegen_function(func)
-    else:
-        if metrics is not None:
-            metrics.inc(EV.JIT_CACHE_MISS)
+    elif tel is not None and tel.enabled:
+        start = time.perf_counter()
         artifact = codegen_function(func)
+        tel.metrics.record_time(EV.JIT_COMPILE,
+                                time.perf_counter() - start)
+    else:
+        artifact = codegen_function(func)
+    disk_store = getattr(engine, "disk_store", None)
+    if disk_store is not None:
+        disk_store(func, artifact)
     return artifact.instantiate(engine)
