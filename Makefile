@@ -4,7 +4,7 @@ PYTHON ?= python
 # pass the shell's ${PYTHONPATH:+:$PYTHONPATH} through literally)
 PP = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH}
 
-.PHONY: test stress bench bench-all bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering bench-obs bench-serve trace-smoke serve-smoke
+.PHONY: test stress bench bench-all bench-smoke bench-tiers bench-background bench-spec bench-analysis bench-lowering bench-obs bench-serve bench-scalarize trace-smoke serve-smoke
 
 test:
 	$(PP) $(PYTHON) -m pytest -x -q
@@ -19,7 +19,7 @@ stress:
 
 # single-trial, tiny workloads — seconds, suitable for CI
 bench-smoke:
-	$(PP) $(PYTHON) -m benchmarks tiers --smoke
+	$(PP) $(PYTHON) -m benchmarks tiers scalarize --smoke
 
 # the tier comparison that backs docs/execution-tiers.md
 bench-tiers:
@@ -53,13 +53,18 @@ bench-obs:
 bench-serve:
 	$(PP) $(PYTHON) -m benchmarks serve --json BENCH_serve.json
 
+# scalarization: OSR live-slot reduction, decoded frame width, and the
+# deopt-recipe cost delta (backs docs/scalarization.md)
+bench-scalarize:
+	$(PP) $(PYTHON) -m benchmarks scalarize --json BENCH_scalarize.json
+
 # the full evaluation: tiers + the paper's Q1-Q4 drivers (minutes)
 bench:
 	$(PP) $(PYTHON) -m benchmarks tiers q1 q2 q3 q4 --json BENCH_tiers.json
 
 # every benchmark group, one JSON per group (long)
 bench-all: bench-tiers bench-background bench-spec bench-analysis \
-		bench-lowering bench-obs bench-serve
+		bench-lowering bench-obs bench-serve bench-scalarize
 
 # traced shootout run: validates the event stream and the Chrome export,
 # writes the trace for loading into Perfetto / chrome://tracing

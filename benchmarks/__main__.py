@@ -36,8 +36,8 @@ import platform
 import sys
 
 from repro.experiments import (
-    format_q1, format_q2, format_q3, format_q4,
-    run_q1, run_q2, run_q3, run_q4,
+    format_q1, format_q2, format_q3, format_q3_state, format_q4,
+    run_q1, run_q2, run_q3, run_q3_state, run_q4,
 )
 from repro.obs import MetricsRegistry, Telemetry, ambient, set_ambient
 
@@ -58,6 +58,12 @@ from .bench_lowering import (
     run_intrusiveness,
 )
 from .bench_obs import format_obs, run_obs
+from .bench_scalarize import (
+    format_recipe,
+    format_scalarize,
+    run_recipe,
+    run_scalarize,
+)
 from .bench_serve import (
     format_serve,
     format_warmstart,
@@ -67,7 +73,7 @@ from .bench_serve import (
 from .bench_tiers import format_cache, format_tiers, run_cache, run_tiers
 
 TARGETS = ("tiers", "cache", "background", "spec", "analysis", "lowering",
-           "obs", "serve", "q1", "q2", "q3", "q4")
+           "obs", "serve", "scalarize", "q1", "q2", "q3", "q4")
 
 
 def _rows_to_json(rows):
@@ -185,6 +191,15 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             print(format_serve(serve_rows))
             results["warmstart"] = _rows_to_json(warm_rows)
             rows = serve_rows
+        elif target == "scalarize":
+            print("Scalarization — OSR live-slot reduction and recipe cost")
+            print(banner)
+            scal_rows = run_scalarize(trials=args.trials, smoke=args.smoke)
+            print(format_scalarize(scal_rows))
+            recipe_rows = run_recipe(trials=args.trials, smoke=args.smoke)
+            print(format_recipe(recipe_rows))
+            results["recipe"] = _rows_to_json(recipe_rows)
+            rows = scal_rows
         elif target == "q1":
             print("Q1 / Figures 10 & 11 — never-firing OSR point overhead")
             print(banner)
@@ -205,6 +220,9 @@ def _run_targets(args, targets, results, banner, telemetry) -> None:
             print(banner)
             rows = run_q3()
             print(format_q3(rows))
+            state_rows = run_q3_state()
+            print(format_q3_state(state_rows))
+            results["q3_state"] = _rows_to_json(state_rows)
         elif target == "q4":
             print("Q4 / Table 4 — feval optimization speedups")
             print(banner)

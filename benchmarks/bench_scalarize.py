@@ -1,0 +1,280 @@
+"""Scalarization benchmarks: live-slot reduction and recipe cost delta.
+
+The shootout programs index their arrays dynamically, so SROA leaves
+them alone (``run_q3_state`` documents that honestly).  The programs
+here are the pattern scalarization exists for: a *scratch aggregate*
+declared at function top and written-then-read with constant indices
+inside every loop iteration.  Pre-scalarization the aggregate's pointer
+is live at the loop header (any later access keeps it alive), so it
+rides along in every OSR live set, continuation signature and deopt
+recipe — and the decoded/JIT tiers route every element access through
+gep+load/store slots.  Post-scalarization the scratch state is dead SSA
+at the header and the memory traffic is gone.
+
+Two row sets:
+
+* **ScalarizeRow** — per workload: how many aggregates split, mean live
+  slots per OSR site before/after, decoded-tier frame width
+  before/after, and decoded-tier steady-state runtime before/after
+  (checksums asserted equal).
+* **RecipeRow** — the deopt-recipe cost delta: a resolved OSR point is
+  inserted at the hottest loop header of the unscalarized vs the
+  scalarized body; the row records the transferred state width, the
+  generated continuation's IR size, and the continuation-generation
+  time from the ``osr.continuation`` span (the same machinery a deopt
+  exit pays on its cold path).
+
+Runs through ``python -m benchmarks scalarize --json
+BENCH_scalarize.json`` or ``make bench-scalarize``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.core import HotCounterCondition, insert_resolved_osr_point
+from repro.experiments.q3 import _site_live_counts
+from repro.experiments.sites import loop_osr_location
+from repro.frontend import compile_c
+from repro.obs import events as EV
+from repro.obs import local_telemetry
+from repro.transform import PassManager
+from repro.vm import ExecutionEngine
+
+from .bench_spec_deopt import _time_steady
+
+#: 4-slot scratch array recomputed every iteration; the classic shape —
+#: without SROA the alloca pointer is live across the loop header
+SCRATCH4 = ("scratch4", "spin", """
+long spin(long n) {
+    long acc[4];
+    long total = 0;
+    for (long i = 0; i < n; i++) {
+        acc[0] = i;
+        acc[1] = i * 2;
+        acc[2] = acc[0] + acc[1];
+        acc[3] = acc[2] - i;
+        total = total + acc[3];
+    }
+    return total;
+}
+""")
+
+#: 8-slot scratch pipeline: each stage reads the previous stage's cell
+SCRATCH8 = ("scratch8", "pipeline", """
+long pipeline(long n) {
+    long stage[8];
+    long total = 0;
+    for (long i = 1; i <= n; i++) {
+        stage[0] = i;
+        stage[1] = stage[0] * 3;
+        stage[2] = stage[1] + 7;
+        stage[3] = stage[2] * stage[0];
+        stage[4] = stage[3] - i;
+        stage[5] = stage[4] / 2;
+        stage[6] = stage[5] + stage[2];
+        stage[7] = stage[6] % 1000003;
+        total = (total + stage[7]) % 1000003;
+    }
+    return total;
+}
+""")
+
+#: two scratch arrays acting as a fixed 2x2 workspace per iteration
+WORKSPACE = ("workspace2x2", "det2", """
+long det2(long n) {
+    long m[4];
+    long r[2];
+    long total = 0;
+    for (long i = 1; i <= n; i++) {
+        m[0] = i;
+        m[1] = i + 1;
+        m[2] = i - 1;
+        m[3] = i + 2;
+        r[0] = m[0] * m[3];
+        r[1] = m[1] * m[2];
+        total = total + (r[0] - r[1]);
+    }
+    return total;
+}
+""")
+
+WORKLOADS = (SCRATCH4, SCRATCH8, WORKSPACE)
+
+
+class ScalarizeRow(NamedTuple):
+    workload: str
+    splits: int               #: aggregate allocas SROA split
+    live_before: float        #: mean live slots per OSR site, unoptimized
+    live_after: float         #: same, after scalarize
+    frame_before: int         #: decoded-tier frame width, unoptimized
+    frame_after: int          #: same, after scalarize
+    unopt_s: float            #: decoded-tier steady state, unoptimized
+    scalarized_s: float       #: same, scalarized
+    speedup: float            #: unopt_s / scalarized_s
+    checksum: object
+
+
+class RecipeRow(NamedTuple):
+    workload: str
+    state_before: int         #: live values transferred at the OSR point
+    state_after: int
+    cont_size_before: int     #: |IR| of the generated continuation
+    cont_size_after: int
+    gen_before_s: float       #: continuation-generation seconds
+    gen_after_s: float
+    state_reduction: float    #: 1 - after/before (0.0 when equal)
+
+
+def _aggregates(func) -> int:
+    return sum(
+        1 for inst in func.entry.instructions
+        if inst.opcode == "alloca"
+        and (inst.allocated_type.is_aggregate or inst.count != 1)
+    )
+
+
+def _compiled(source: str, entry: str, level: str):
+    """Compile one workload at ``level``; returns (module, split count).
+
+    The split count is the number of aggregate allocas the ``scalarize``
+    step dissolved — measured across that step alone, so mem2reg's
+    scalar promotions don't inflate it."""
+    module = compile_c(source)
+    func = module.get_function(entry)
+    PassManager.pipeline("unoptimized").run(func)
+    splits = 0
+    if level == "scalarized":
+        before = _aggregates(func)
+        PassManager(["scalarize"]).run(func)
+        splits = before - _aggregates(func)
+    return module, splits
+
+
+def _mean(values: List[int]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_scalarize(trials: int = 3, smoke: bool = False
+                  ) -> List[ScalarizeRow]:
+    """Decoded-tier A/B: ``unoptimized`` vs ``scalarized`` pipelines."""
+    if smoke:
+        trials = 1
+    n = 2_000 if smoke else 100_000
+    rows: List[ScalarizeRow] = []
+    for label, entry, source in WORKLOADS:
+        unopt_module, _ = _compiled(source, entry, "unoptimized")
+        unopt = ExecutionEngine(unopt_module, tier="decoded")
+        unopt_func = unopt_module.get_function(entry)
+        live_before = _mean(_site_live_counts(unopt_func, unopt.analysis))
+        unopt.run(entry, 10)  # populate the decoded cache
+        frame_before = unopt.stats_snapshot()["frames"][entry]
+        unopt_s, checksum = _time_steady(unopt, entry, (n,), trials)
+
+        scal_module, splits = _compiled(source, entry, "scalarized")
+        scal = ExecutionEngine(scal_module, tier="decoded")
+        scal_func = scal_module.get_function(entry)
+        live_after = _mean(_site_live_counts(scal_func, scal.analysis))
+        scal.run(entry, 10)
+        frame_after = scal.stats_snapshot()["frames"][entry]
+        scal_s, scal_sum = _time_steady(scal, entry, (n,), trials)
+        assert scal_sum == checksum, (label, scal_sum, checksum)
+
+        rows.append(ScalarizeRow(
+            workload=label,
+            splits=splits,
+            live_before=live_before,
+            live_after=live_after,
+            frame_before=frame_before,
+            frame_after=frame_after,
+            unopt_s=unopt_s,
+            scalarized_s=scal_s,
+            speedup=unopt_s / scal_s if scal_s else 0.0,
+            checksum=checksum,
+        ))
+    return rows
+
+
+def _measure_recipe(source: str, entry: str, level: str
+                    ) -> Tuple[int, int, float]:
+    """(state width, continuation |IR|, generation seconds) for a
+    resolved OSR point at the workload's hottest loop header."""
+    module, _ = _compiled(source, entry, level)
+    telemetry = local_telemetry()
+    engine = ExecutionEngine(module, tier="jit", telemetry=telemetry)
+    func = module.get_function(entry)
+    location = loop_osr_location(func, am=engine.analysis)
+    result = insert_resolved_osr_point(
+        func, location,
+        HotCounterCondition(HotCounterCondition.NEVER),
+        engine=engine,
+    )
+    from repro.experiments.stats import span_total
+    return (
+        len(result.live_values),
+        result.continuation.instruction_count,
+        span_total(telemetry, EV.OSR_CONTINUATION),
+    )
+
+
+def run_recipe(trials: int = 3, smoke: bool = False) -> List[RecipeRow]:
+    """Deopt-recipe cost delta: continuation generation against the
+    unscalarized vs the scalarized body, best of ``trials``."""
+    if smoke:
+        trials = 1
+    rows: List[RecipeRow] = []
+    for label, entry, source in WORKLOADS:
+        before: Optional[Tuple[int, int, float]] = None
+        after: Optional[Tuple[int, int, float]] = None
+        for _ in range(trials):
+            b = _measure_recipe(source, entry, "unoptimized")
+            a = _measure_recipe(source, entry, "scalarized")
+            if before is None or b[2] < before[2]:
+                before = b
+            if after is None or a[2] < after[2]:
+                after = a
+        state_b, cont_b, gen_b = before
+        state_a, cont_a, gen_a = after
+        rows.append(RecipeRow(
+            workload=label,
+            state_before=state_b,
+            state_after=state_a,
+            cont_size_before=cont_b,
+            cont_size_after=cont_a,
+            gen_before_s=gen_b,
+            gen_after_s=gen_a,
+            state_reduction=(1.0 - state_a / state_b) if state_b else 0.0,
+        ))
+    return rows
+
+
+def format_scalarize(rows: List[ScalarizeRow]) -> str:
+    header = (f"{'workload':<14} {'split':>5} {'live b/a':>10} "
+              f"{'frame b/a':>10} {'unopt (s)':>10} {'scalar (s)':>11} "
+              f"{'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<14} {row.splits:>5} "
+            f"{row.live_before:>4.1f}/{row.live_after:<5.1f} "
+            f"{row.frame_before:>4}/{row.frame_after:<5} "
+            f"{row.unopt_s:>10.4f} {row.scalarized_s:>11.4f} "
+            f"{row.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_recipe(rows: List[RecipeRow]) -> str:
+    header = (f"{'workload':<14} {'state b/a':>10} {'cont |IR| b/a':>14} "
+              f"{'gen b (us)':>11} {'gen a (us)':>11} {'state cut':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<14} "
+            f"{row.state_before:>4}/{row.state_after:<5} "
+            f"{row.cont_size_before:>6}/{row.cont_size_after:<7} "
+            f"{row.gen_before_s * 1e6:>11.1f} {row.gen_after_s * 1e6:>11.1f} "
+            f"{row.state_reduction * 100:>8.1f}%"
+        )
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ from .cfg import (
     split_edge,
 )
 from .dominators import DominatorTree
+from .escape import AllocaSummary, EscapeInfo
 from .liveness import LivenessInfo, live_values_at
 from .loops import Loop, LoopInfo
 from .manager import (
@@ -41,8 +42,10 @@ __all__ = [
     "analysis_stamp",
     "default_manager",
     "resolve_manager",
+    "AllocaSummary",
     "CallGraph",
     "DominatorTree",
+    "EscapeInfo",
     "LivenessInfo",
     "live_values_at",
     "Loop",

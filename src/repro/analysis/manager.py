@@ -40,6 +40,7 @@ from ..ir.function import Function
 from ..obs import events as EV
 from ..obs.telemetry import ambient as ambient_telemetry
 from .dominators import DominatorTree
+from .escape import EscapeInfo, _same_escape
 from .liveness import LivenessInfo
 from .loops import LoopInfo
 
@@ -98,6 +99,9 @@ ANALYSES: Dict[str, AnalysisSpec] = {
     ),
     "loops": AnalysisSpec(
         "loops", LoopInfo, GRANULARITY_CFG, _same_loops
+    ),
+    "escape": AnalysisSpec(
+        "escape", EscapeInfo, GRANULARITY_BODY, _same_escape
     ),
 }
 
@@ -278,6 +282,9 @@ class AnalysisManager:
 
     def loop_info(self, func: Function) -> LoopInfo:
         return self.get("loops", func)
+
+    def escape_info(self, func: Function) -> EscapeInfo:
+        return self.get("escape", func)
 
     def cached(self, name: str, func: Function):
         """Peek: the cached result for the *current* version, or None.

@@ -86,7 +86,7 @@ def generate_continuation(
     """
     tel = telemetry if telemetry is not None else ambient_telemetry()
     with tel.span(EV.OSR_CONTINUATION, variant=variant.name,
-                  landing=landing.name):
+                  landing=landing.name, live=len(live_values)):
         return _generate_continuation(
             variant, landing, live_values, mapping, name, module,
             cleanup, verify, tel, resolve_manager(am),
@@ -165,6 +165,9 @@ def _generate_continuation(
         )
     builder.br(landing_clone)
     cont.attributes["osr.role"] = "continuation"
+    # the transferred-state width, queryable after the fact (Q3's state
+    # tables and the scalarization benchmarks read this)
+    cont.attributes["osr.state_size"] = str(len(live_values))
     if telemetry.enabled:
         telemetry.event(
             EV.OSR_COMPENSATION, continuation=cont.name,

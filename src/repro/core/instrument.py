@@ -56,6 +56,38 @@ def _manager_for(engine, am=None):
     return resolve_manager(getattr(engine, "analysis", None))
 
 
+def _note_state_size(telemetry, engine, func: Function, kind: str,
+                     count: int) -> None:
+    """Record the live-state width of a freshly inserted OSR point: an
+    ``osr.state_size`` instant on the trace and the ``osr.live_slots``
+    gauge on the engine's metrics (when an engine is attached).  This is
+    the number the scalarization work is measured by — fewer live slots
+    means smaller continuation signatures and slimmer deopt recipes."""
+    if telemetry is not None and telemetry.enabled:
+        telemetry.event(
+            EV.OSR_STATE_SIZE, function=func.name, kind=kind, live=count
+        )
+    metrics = getattr(engine, "metrics", None)
+    if metrics is not None:
+        metrics.gauge(EV.OSR_LIVE_SLOTS, count)
+
+
+def _scalarize_for_osr(func: Function, am) -> None:
+    """Run the SROA pass over ``func`` before instrumenting it, with the
+    same invalidation discipline the pass manager applies: split
+    aggregates shrink the live sets the OSR point is about to capture.
+
+    Callers opting in must pass a ``location`` that survives the rewrite
+    (block terminators and arithmetic do; loads/stores/geps on a
+    scalarized aggregate are erased, and :func:`split_block_at` rejects
+    an erased location)."""
+    from ..transform.passmanager import scalarize_pass
+
+    preserved = scalarize_pass(func, am)
+    if not preserved.preserves_all:
+        am.invalidate(func, preserved)
+
+
 def _unwrap_ir(obj):
     """Collapse an engine :class:`FunctionHandle` back to its IR function.
 
@@ -151,6 +183,7 @@ def insert_resolved_osr_point(
     engine=None,
     verify: bool = True,
     am=None,
+    scalarize: bool = False,
 ) -> ResolvedOSR:
     """Insert a resolved OSR point before ``location`` (Figure 2).
 
@@ -168,10 +201,17 @@ def insert_resolved_osr_point(
     Insertion is traced as an ``osr.insert`` span (kind ``resolved``) on
     the engine's telemetry (ambient when no engine is given), and the
     continuation is tagged ``osr.entrypoint = "resolved"`` so the engine
-    can observe fires when it is entered.
+    can observe fires when it is entered.  With ``scalarize=True`` the
+    SROA pass runs first (with pass-manager invalidation discipline), so
+    the captured live set reflects post-scalarization liveness; the
+    ``location`` must survive the rewrite.  Either way the final live
+    width is recorded as an ``osr.state_size`` instant and the
+    ``osr.live_slots`` gauge.
     """
     tel = _telemetry_for(engine)
     with tel.span(EV.OSR_INSERT, function=func.name, kind="resolved"):
+        if scalarize:
+            _scalarize_for_osr(func, _manager_for(engine, am))
         return _insert_resolved_osr_point(
             func, location, condition, variant, landing, mapping,
             cont_name, engine, verify, tel, _manager_for(engine, am),
@@ -196,6 +236,7 @@ def _insert_resolved_osr_point(
         raise OSRError(f"@{func.name} is not inside a module")
 
     live_values = am.liveness(func).live_before(location)
+    _note_state_size(telemetry, engine, func, "resolved", len(live_values))
     check_block = location.parent
     cont_block = split_block_at(location)
 
@@ -390,6 +431,7 @@ def insert_open_osr_point(
     use_stub: bool = True,
     verify: bool = True,
     am=None,
+    scalarize: bool = False,
 ) -> OpenOSR:
     """Insert an open OSR point before ``location`` (Figure 3).
 
@@ -409,10 +451,17 @@ def insert_open_osr_point(
 
     Insertion is traced as an ``osr.insert`` span (kind ``open``) on the
     engine's telemetry; the enclosed stub construction contributes a
-    nested ``osr.open_stub`` span.
+    nested ``osr.open_stub`` span.  With ``scalarize=True`` the SROA
+    pass runs first so the captured live set (and hence the stub and
+    continuation signatures) reflects post-scalarization liveness; the
+    ``location`` must survive the rewrite.  The final live width is
+    recorded as an ``osr.state_size`` instant and the ``osr.live_slots``
+    gauge.
     """
     tel = _telemetry_for(engine)
     with tel.span(EV.OSR_INSERT, function=func.name, kind="open"):
+        if scalarize:
+            _scalarize_for_osr(func, _manager_for(engine, am))
         return _insert_open_osr_point(
             func, location, condition, generator, engine, env, val,
             pass_pristine_copy, use_stub, verify, _manager_for(engine, am),
@@ -439,6 +488,9 @@ def _insert_open_osr_point(
         raise OSRError(f"open-OSR val must be pointer-typed, got {val.type}")
 
     live_values = am.liveness(func).live_before(location)
+    _note_state_size(
+        _telemetry_for(engine), engine, func, "open", len(live_values)
+    )
     check_block = location.parent
     cont_block = split_block_at(location)
 

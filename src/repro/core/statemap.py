@@ -114,6 +114,22 @@ class StateMapping:
     def __len__(self) -> int:
         return len(self.sources)
 
+    def source_stats(self) -> Dict[str, int]:
+        """How the landing state is reconstructed: a count per source
+        kind (``params`` transfer verbatim, ``constants`` cost nothing at
+        run time, ``computed`` is compensation code).  Scalarization
+        shows up here as fewer entries overall — state that became a
+        dead SSA scratch value needs no source at all."""
+        stats = {"params": 0, "constants": 0, "computed": 0}
+        for source in self.sources.values():
+            if isinstance(source, FromParam):
+                stats["params"] += 1
+            elif isinstance(source, FromConstant):
+                stats["constants"] += 1
+            else:
+                stats["computed"] += 1
+        return stats
+
     @classmethod
     def identity(cls, live_values: Sequence[Value]) -> "StateMapping":
         """The 1:1 mapping used when the variant's landing state equals

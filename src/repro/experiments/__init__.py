@@ -8,7 +8,14 @@
 
 from .q1 import Q1Row, format_q1, instrument_never_firing, run_q1
 from .q2 import Q2Row, format_q2, run_q2
-from .q3 import Q3Row, format_q3, run_q3
+from .q3 import (
+    Q3Row,
+    Q3StateRow,
+    format_q3,
+    format_q3_state,
+    run_q3,
+    run_q3_state,
+)
 from .q4 import Q4Row, format_q4, run_q4
 from .sites import entry_osr_location, hottest_loop, loop_osr_location
 
@@ -16,6 +23,7 @@ __all__ = [
     "run_q1", "format_q1", "Q1Row", "instrument_never_firing",
     "run_q2", "format_q2", "Q2Row",
     "run_q3", "format_q3", "Q3Row",
+    "run_q3_state", "format_q3_state", "Q3StateRow",
     "run_q4", "format_q4", "Q4Row",
     "hottest_loop", "loop_osr_location", "entry_osr_location",
 ]

@@ -24,6 +24,8 @@ name                      kind   emitted when
 ``osr.continuation``      span   a continuation function (Figure 7) is generated
 ``osr.compensation``      event  compensation entries materialized in ``osr.entry``
 ``osr.fire``              event  an OSR point fired and control was transferred
+``osr.state_size``        event  an OSR/guard site recorded its live-state slot count
+``scalarize.split``       event  SROA split an aggregate alloca into scalar pieces
 ``feval.specialize``      span   the feval optimizer specializes + recompiles
 ``feval.cache_hit``       event  a fired feval OSR reused a cached continuation
 ``feval.guard_fail``      event  a feval guard/handle check failed at run time
@@ -78,6 +80,8 @@ OSR_OPEN_STUB = "osr.open_stub"
 OSR_CONTINUATION = "osr.continuation"
 OSR_COMPENSATION = "osr.compensation"
 OSR_FIRE = "osr.fire"
+OSR_STATE_SIZE = "osr.state_size"
+SCALARIZE_SPLIT = "scalarize.split"
 FEVAL_SPECIALIZE = "feval.specialize"
 FEVAL_CACHE_HIT = "feval.cache_hit"
 FEVAL_GUARD_FAIL = "feval.guard_fail"
@@ -113,6 +117,10 @@ COMPILE_WAIT = "compile.wait"
 ENGINE_DISPATCH = "engine.dispatch"
 DEOPT_TRANSITION = "deopt.transition"
 SERVE_LATENCY = "serve.latency"
+#: live-slot-count gauges: the most recent OSR/guard/deopt live-state
+#: width and the most recent decoded frame width (slots per frame)
+OSR_LIVE_SLOTS = "osr.live_slots"
+DECODE_FRAME_SLOTS = "decode.frame_slots"
 
 #: names emitted as instant events
 INSTANT_NAMES = frozenset({
@@ -127,6 +135,8 @@ INSTANT_NAMES = frozenset({
     DECODE_FUSE,
     OSR_COMPENSATION,
     OSR_FIRE,
+    OSR_STATE_SIZE,
+    SCALARIZE_SPLIT,
     FEVAL_CACHE_HIT,
     FEVAL_GUARD_FAIL,
     SPEC_DISPATCH,

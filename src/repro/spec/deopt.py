@@ -145,6 +145,9 @@ class DeoptManager:
                       function=frame.baseline.name)
         elif metrics is not None:
             metrics.inc(EV.DEOPT_GUARD_FAIL)
+        if metrics is not None:
+            # the deopt-recipe width actually transferred on this exit
+            metrics.gauge(EV.OSR_LIVE_SLOTS, len(lives))
 
         observed = lives[-1] if lives else None
         owner = self._owners.get(guard_id)
@@ -220,7 +223,7 @@ class DeoptManager:
             return cached
         tel = self.telemetry
         with tel.span(EV.DEOPT_CONTINUATION, guard=guard_id,
-                      target=frame.baseline.name):
+                      target=frame.baseline.name, live=frame.state_size):
             cont = generate_continuation(
                 frame.baseline, frame.landing, frame.live_values,
                 frame.baseline_mapping(),

@@ -43,6 +43,14 @@ class FrameState:
         #: which baseline argument the owning version speculates on
         self.arg_index = arg_index
 
+    @property
+    def state_size(self) -> int:
+        """Width of the deopt recipe: how many values the guard captures
+        and the exit continuation receives.  Scalarization shrinks this —
+        an aggregate's pointer live across the guard becomes N scratch
+        scalars that are dead at the guard, or nothing at all."""
+        return len(self.live_values)
+
     def baseline_mapping(self) -> StateMapping:
         """Identity mapping: live value ``i`` arrives as parameter ``i``.
 

@@ -112,11 +112,12 @@ def specialize_function(
     with tel.span(EV.SPEC_SPECIALIZE, function=baseline.name,
                   arg_index=arg_index, value=repr(value)):
         return _specialize(baseline, arg_index, const, value,
-                           target_module, optimize, resolve_manager(am))
+                           target_module, optimize, resolve_manager(am), tel)
 
 
 def _specialize(baseline: Function, arg_index: int, const, value,
-                module: Module, optimize: bool, am) -> SpecializedVersion:
+                module: Module, optimize: bool, am,
+                telemetry=None) -> SpecializedVersion:
     arg = baseline.args[arg_index]
     baseline.assign_names()
     liveness = am.liveness(baseline)
@@ -157,6 +158,11 @@ def _specialize(baseline: Function, arg_index: int, const, value,
         guards[guard_id] = FrameState(
             guard_id, baseline, site, list(lives_base) + [arg], arg_index
         )
+        if telemetry is not None and telemetry.enabled:
+            telemetry.event(
+                EV.OSR_STATE_SIZE, function=clone.name, kind="guard",
+                guard=guard_id, live=len(capture),
+            )
 
     # selective RAUW: fold the speculated argument to the constant
     # everywhere EXCEPT the guard machinery itself — the condition must

@@ -11,6 +11,7 @@ from .dce import (
     aggressive_dce,
     eliminate_dead_blocks,
     eliminate_dead_code,
+    eliminate_dead_stores,
     run_dce,
 )
 from .inline import InlineError, inline_call, inline_known_indirect_calls
@@ -24,6 +25,7 @@ from .passmanager import (
     optimize_function,
     optimize_module,
 )
+from .scalarize import scalarize_aggregates
 from .simplifycfg import simplify_cfg
 from .ssaupdater import SSAUpdater
 
@@ -34,6 +36,7 @@ __all__ = [
     "fold_constants",
     "eliminate_dead_blocks",
     "eliminate_dead_code",
+    "eliminate_dead_stores",
     "run_dce",
     "aggressive_dce",
     "InlineError",
@@ -47,6 +50,7 @@ __all__ = [
     "managed_pass",
     "optimize_function",
     "optimize_module",
+    "scalarize_aggregates",
     "simplify_cfg",
     "SSAUpdater",
 ]

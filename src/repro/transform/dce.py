@@ -1,9 +1,13 @@
 """Dead-code elimination.
 
-Two flavours:
+Three flavours:
 
 * :func:`eliminate_dead_code` — classic worklist DCE on unused,
   side-effect-free instructions.
+* :func:`eliminate_dead_stores` — escape-driven: a store into a
+  non-escaping alloca that is never loaded observes nothing, so the
+  store (and the alloca's whole access web) is dead even though stores
+  "have side effects" to the generic worklist.
 * :func:`eliminate_dead_blocks` — remove CFG-unreachable blocks (re-export
   of the CFG utility; listed here because the OSR continuation generator
   depends on it to drop the original entry region, paper Figure 7).
@@ -12,9 +16,10 @@ Two flavours:
 from __future__ import annotations
 
 from ..analysis.cfg import remove_unreachable_blocks
+from ..analysis.manager import resolve_manager
 from ..analysis.usedef import is_trivially_dead
 from ..ir.function import Function
-from ..ir.instructions import Instruction
+from ..ir.instructions import Instruction, StoreInst
 
 
 def eliminate_dead_code(func: Function) -> int:
@@ -35,6 +40,55 @@ def eliminate_dead_code(func: Function) -> int:
         for op in operands:
             if is_trivially_dead(op):
                 worklist.append(op)
+    return removed
+
+
+def eliminate_dead_stores(func: Function, am=None) -> int:
+    """Erase stores into non-escaping, never-loaded allocas; returns the
+    number of instructions removed (stores plus the dead access web).
+
+    The classic worklist treats every store as side-effecting, so an
+    alloca is only erasable once *fully* unused.  With
+    :class:`~repro.analysis.escape.EscapeInfo` (pulled through ``am``,
+    defaulting to the process-wide manager) the bar drops: if the
+    alloca's address never escapes and no load ever reads through it,
+    nothing can observe the stored bytes — the stores go, and the
+    derived geps/casts and the alloca itself follow as ordinary dead
+    code.
+    """
+    escape = resolve_manager(am).escape_info(func)
+    removed = 0
+    for alloca in escape.non_escaping:
+        if escape.is_loaded(alloca):
+            continue
+        # collect the access web rooted at the alloca: escape analysis
+        # already proved it contains only loads/stores/geps/casts, and
+        # with no loads it is stores + address computation only
+        web = [alloca]
+        frontier = [alloca]
+        while frontier:
+            pointer = frontier.pop()
+            for use in pointer.uses:
+                user = use.user
+                if user in web:
+                    continue
+                web.append(user)
+                if not isinstance(user, StoreInst):
+                    frontier.append(user)
+        # stores first, then the address web outside-in until stable
+        # (an outer gep only becomes unused once its derived geps go)
+        for inst in web:
+            if isinstance(inst, StoreInst) and inst.parent is not None:
+                inst.erase_from_parent()
+                removed += 1
+        progress = True
+        while progress:
+            progress = False
+            for inst in web:
+                if inst.parent is not None and not inst.is_used():
+                    inst.erase_from_parent()
+                    removed += 1
+                    progress = True
     return removed
 
 

@@ -30,8 +30,13 @@ from ..analysis.manager import (
 from ..ir.function import Function, Module
 from ..ir.verifier import verify_function
 from .constfold import fold_constants
-from .dce import eliminate_dead_blocks, eliminate_dead_code
+from .dce import (
+    eliminate_dead_blocks,
+    eliminate_dead_code,
+    eliminate_dead_stores,
+)
 from .mem2reg import promote_memory_to_registers
+from .scalarize import scalarize_aggregates
 from .simplifycfg import simplify_cfg
 
 #: the managed pass contract
@@ -89,8 +94,22 @@ def constfold_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
 
 
 @managed_pass
+def scalarize_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
+    """SROA: split non-escaping aggregate allocas along their constant
+    GEP access paths and promote the pieces (instruction rewrites and
+    new phis only — the CFG is untouched)."""
+    if scalarize_aggregates(func, am=am):
+        return PreservedAnalyses.cfg_only()
+    return PreservedAnalyses.all()
+
+
+@managed_pass
 def dce_pass(func: Function, am: AnalysisManager) -> PreservedAnalyses:
-    if eliminate_dead_code(func):
+    """Worklist DCE plus escape-driven dead-store elimination: a store
+    into a non-escaping alloca that is never loaded observes nothing."""
+    removed = eliminate_dead_stores(func, am=am)
+    removed += eliminate_dead_code(func)
+    if removed:
         return PreservedAnalyses.cfg_only()
     return PreservedAnalyses.all()
 
@@ -120,19 +139,27 @@ def simplifycfg_pass(func: Function, am: AnalysisManager
 #: registry of named function passes (all managed)
 PASSES: Dict[str, FunctionPass] = {
     "mem2reg": mem2reg_pass,
+    "scalarize": scalarize_pass,
     "dce": dce_pass,
     "dce+blocks": dce_blocks_pass,
     "constfold": constfold_pass,
     "simplifycfg": simplifycfg_pass,
 }
 
-#: the two pipeline configurations of the paper's evaluation (Section 5.1)
+#: the two pipeline configurations of the paper's evaluation (Section
+#: 5.1), plus "scalarized" — the unoptimized tier with SROA on top, the
+#: A/B arm the scalarization benchmarks and differential suites compare
+#: against plain "unoptimized"
 PIPELINES: Dict[str, List[str]] = {
     # "unoptimized": only mem2reg, to promote stack slots and build SSA
     "unoptimized": ["mem2reg"],
-    # "optimized": an -O1-like sequence
+    # "scalarized": mem2reg + escape-driven SROA, nothing else
+    "scalarized": ["mem2reg", "scalarize"],
+    # "optimized": an -O1-like sequence (aggregates split before the
+    # cleanup passes so the pieces fold like any other scalar)
     "optimized": [
         "mem2reg",
+        "scalarize",
         "constfold",
         "simplifycfg",
         "dce",

@@ -1730,6 +1730,14 @@ class DecodedFunction:
             "cmp_br": 0, "op_chain": 0, "phi_copy": 0,
         }
 
+    @property
+    def frame_slots(self) -> int:
+        """Width of the per-invocation frame (alloca list + retval +
+        args + non-void results + interned constants).  Scalarization
+        shrinks this: split allocas and their gep/load/store traffic stop
+        occupying result slots."""
+        return len(self.template)
+
     def _frame(self, args) -> List[Any]:
         if len(args) != len(self.arg_slots):
             raise Trap(

@@ -525,6 +525,7 @@ class ExecutionEngine:
                     self.metrics.inc(EV.DECODE_BAILOUT)
                 return self._make_interp_thunk(func)
             self._decoded[func.name] = decoded
+            self.metrics.gauge(EV.DECODE_FRAME_SLOTS, decoded.frame_slots)
             fusion = decoded.fusion
             if fusion["cmp_br"] or fusion["op_chain"] or fusion["phi_copy"]:
                 tel = self.telemetry
@@ -1016,6 +1017,10 @@ class ExecutionEngine:
             snapshot["diskcache"] = self.disk_cache.stats()
         snapshot["fusion"] = {
             name: dict(decoded.fusion)
+            for name, decoded in list(self._decoded.items())
+        }
+        snapshot["frames"] = {
+            name: decoded.frame_slots
             for name, decoded in list(self._decoded.items())
         }
         if self.spec_manager is not None:

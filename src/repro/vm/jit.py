@@ -320,16 +320,22 @@ class CompiledCode:
     """
 
     __slots__ = ("code", "py_name", "bindings", "version", "shape",
-                 "_source_hook", "_source")
+                 "frame_stats", "_source_hook", "_source")
 
     def __init__(self, code, py_name: str, bindings: Dict[str, Tuple],
                  version: int, shape: Tuple[int, int],
-                 source_hook: Optional[Callable[[], str]] = None):
+                 source_hook: Optional[Callable[[], str]] = None,
+                 frame_stats: Optional[Dict[str, int]] = None):
         self.code = code
         self.py_name = py_name
         self.bindings = bindings
         self.version = version
         self.shape = shape
+        #: frame-footprint metadata stamped at codegen time (``buffers``
+        #: = allocas lowered to per-call memory buffers, ``values`` =
+        #: non-void instruction results).  Diagnostic only — never
+        #: serialized; artifacts revived from the disk cache carry None.
+        self.frame_stats = frame_stats
         self._source_hook = source_hook
         self._source: Optional[str] = None
 
@@ -634,10 +640,17 @@ class FunctionCompiler:
         func = self.func
         tree = self.build_tree()
         code = compile(tree, f"<jit:@{func.name}>", "exec")
+        buffers = values = 0
+        for inst in func.instructions():
+            if isinstance(inst, AllocaInst):
+                buffers += 1
+            if not inst.type.is_void:
+                values += 1
         return CompiledCode(
             code, self._py_name(), self.bindings,
             func.code_version, func.code_shape(),
             source_hook=_make_source_hook(func),
+            frame_stats={"buffers": buffers, "values": values},
         )
 
     def build_tree(self) -> ast.Module:

@@ -183,6 +183,69 @@ class TestChainedOSR:
         assert engine.run("sum", 100) == sum(range(100))
 
 
+SCRATCH_C = """
+long spin(long n) {
+    long acc[4];
+    long total = 0;
+    for (long i = 0; i < n; i++) {
+        acc[0] = i;
+        acc[1] = i * 2;
+        acc[2] = acc[0] + acc[1];
+        acc[3] = acc[2] - i;
+        total = total + acc[3];
+    }
+    return total;
+}
+"""
+
+
+class TestScalarizedOSRState:
+    """``scalarize=True`` runs SROA before computing the live set, so a
+    private scratch aggregate stops being OSR state entirely."""
+
+    def _prepared(self):
+        from repro.frontend import compile_c
+        from repro.transform import PassManager
+
+        module = compile_c(SCRATCH_C)
+        func = module.get_function("spin")
+        PassManager.pipeline("unoptimized").run(func)
+        return module, func
+
+    def _live_width(self, scalarize):
+        from repro.experiments.sites import loop_osr_location
+
+        module, func = self._prepared()
+        result = insert_resolved_osr_point(
+            func, loop_osr_location(func), HotCounterCondition(10),
+            scalarize=scalarize,
+        )
+        verify_function(func)
+        verify_function(result.continuation)
+        return module, len(result.osr_block.instructions[0].args)
+
+    def test_scalarize_shrinks_live_state(self):
+        _, plain = self._live_width(scalarize=False)
+        _, slim = self._live_width(scalarize=True)
+        # the aggregate pointer drops out of the state; the per-iteration
+        # scratch values are dead at the header, so nothing replaces it
+        assert slim < plain
+
+    def test_scalarized_osr_is_transparent(self):
+        ref_module, ref_func = self._prepared()
+        from repro.vm.interpreter import Interpreter
+        ref = Interpreter(ref_module).run_function(ref_func, [40])
+
+        module, func = self._prepared()
+        from repro.experiments.sites import loop_osr_location
+        engine = ExecutionEngine(module)
+        insert_resolved_osr_point(
+            func, loop_osr_location(func), HotCounterCondition(5),
+            engine=engine, scalarize=True,
+        )
+        assert engine.run("spin", 40) == ref
+
+
 class TestErrors:
     def test_function_outside_module_rejected(self):
         from repro.ir.function import BasicBlock, Function

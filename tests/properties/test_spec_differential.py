@@ -11,15 +11,25 @@ Each deopt must resume mid-flight: the trace shows ``deopt.exit``
 without a fresh ``engine.call`` of the baseline from its entry (the
 engine's per-function call counter does not move beyond the calls the
 test itself makes).
+
+The same harness runs at the ``scalarized`` pipeline level: scalarized
+≡ unscalarized ≡ interpreter, against the *same* oracle sequence.  The
+shootout programs index their arrays dynamically (SROA bails), so
+:class:`TestScalarizedScratchDeopt` adds scratch-aggregate programs
+whose loop headers genuinely lose live slots to scalarization — and
+forces deopts exactly there.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.frontend import compile_c
+from repro.ir.instructions import AllocaInst
 from repro.obs.events import validate_events
 from repro.obs.telemetry import Telemetry
 from repro.shootout import SUITE, all_benchmarks, compile_benchmark
+from repro.transform import PassManager
 from repro.vm import ExecutionEngine
 
 NAMES = [b.name for b in all_benchmarks()]
@@ -56,22 +66,22 @@ def _oracle(name):
     return cached
 
 
-def _speculative_engine(name):
+def _speculative_engine(name, level="unoptimized"):
     benchmark = SUITE[name]
-    module = compile_benchmark(benchmark, "unoptimized")
+    module = compile_benchmark(benchmark, level)
     telemetry = Telemetry()
     engine = ExecutionEngine(module, tier="speculative", call_threshold=2,
                              telemetry=telemetry)
     return engine, module.get_function(benchmark.entry), telemetry
 
 
-def _run_with_forced_deopt(name, pick_guard, at_hit):
+def _run_with_forced_deopt(name, pick_guard, at_hit, level="unoptimized"):
     """Warm a speculative engine, arm one guard, finish the sequence;
     assert per-call equality with the interpreter and mid-flight resume."""
     benchmark = SUITE[name]
     args = _small_args(benchmark)
     oracle = _oracle(name)
-    engine, func, telemetry = _speculative_engine(name)
+    engine, func, telemetry = _speculative_engine(name, level)
 
     for k in range(WARM_CALLS):
         assert engine.run(benchmark.entry, *args) == oracle[k], (name, k)
@@ -119,6 +129,123 @@ class TestForcedDeoptEquivalence:
         _run_with_forced_deopt(
             name, lambda version, ids: ids[-1], at_hit=2
         )
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestScalarizedForcedDeoptEquivalence:
+    """The scalarized pipeline against the unoptimized interpreter
+    oracle: whatever SROA did (or declined to do), speculation plus
+    forced deopts must stay observably equivalent."""
+
+    def test_entry_guard_deopt_scalarized(self, name):
+        engine, event_names = _run_with_forced_deopt(
+            name, _entry_guard, at_hit=1, level="scalarized"
+        )
+        assert engine.deopt_manager.deopt_count >= POST_CALLS
+        assert "deopt.exit" in event_names
+
+    def test_last_guard_mid_flight_scalarized(self, name):
+        _run_with_forced_deopt(
+            name, lambda version, ids: ids[-1], at_hit=2,
+            level="scalarized"
+        )
+
+
+#: scratch-aggregate programs: the loop-header live set genuinely
+#: shrinks under SROA, so forcing deopts at the header exercises the
+#: slimmer FrameStates end to end
+SCRATCH_PROGRAMS = {
+    "scratch4": ("spin", (25,), """
+long spin(long n) {
+    long acc[4];
+    long total = 0;
+    for (long i = 0; i < n; i++) {
+        acc[0] = i;
+        acc[1] = i * 2;
+        acc[2] = acc[0] + acc[1];
+        acc[3] = acc[2] - i;
+        total = total + acc[3];
+    }
+    return total;
+}
+"""),
+    "nested2x2": ("det2", (19,), """
+long det2(long n) {
+    long m[4];
+    long r[2];
+    long total = 0;
+    for (long i = 1; i <= n; i++) {
+        m[0] = i;
+        m[1] = i + 1;
+        m[2] = i - 1;
+        m[3] = i + 2;
+        r[0] = m[0] * m[3];
+        r[1] = m[1] * m[2];
+        total = total + (r[0] - r[1]);
+    }
+    return total;
+}
+"""),
+}
+
+
+@pytest.mark.parametrize("label", sorted(SCRATCH_PROGRAMS))
+class TestScalarizedScratchDeopt:
+    def _modules(self, label):
+        entry, args, source = SCRATCH_PROGRAMS[label]
+        ref_module = compile_c(source)
+        PassManager.pipeline("unoptimized").run(
+            ref_module.get_function(entry))
+        scal_module = compile_c(source)
+        func = scal_module.get_function(entry)
+        aggregates = [
+            inst for inst in func.instructions()
+            if isinstance(inst, AllocaInst)
+            and (inst.allocated_type.is_aggregate or inst.count != 1)
+        ]
+        assert aggregates, f"{label} should carry scalarizable aggregates"
+        PassManager.pipeline("scalarized").run(func)
+        remaining = [inst for inst in func.instructions()
+                     if isinstance(inst, AllocaInst)]
+        assert remaining == [], f"{label} did not fully scalarize"
+        return entry, args, ref_module, scal_module
+
+    def test_forced_deopt_at_scalarized_loop_header(self, label):
+        entry, args, ref_module, scal_module = self._modules(label)
+        oracle = ExecutionEngine(ref_module, tier="interp").run(entry, *args)
+
+        telemetry = Telemetry()
+        engine = ExecutionEngine(scal_module, tier="speculative",
+                                 call_threshold=2, telemetry=telemetry)
+        for _ in range(WARM_CALLS):
+            assert engine.run(entry, *args) == oracle
+        func = scal_module.get_function(entry)
+        state = engine.spec_manager.state_for(func)
+        assert state.active_version is not None
+        version = state.active_version
+        header_guards = [
+            gid for gid, frame in version.guards.items()
+            if frame.landing is not version.baseline.entry
+        ]
+        assert header_guards, f"{label} speculation has no loop-header guard"
+        engine.deopt_manager.force_failure(header_guards[0], at_hit=2)
+        for _ in range(POST_CALLS):
+            assert engine.run(entry, *args) == oracle
+        assert engine.deopt_manager.deopt_count >= 1
+        event_names = [e["name"] for e in telemetry.events]
+        assert "deopt.exit" in event_names
+        assert validate_events(telemetry.events) == []
+
+    def test_tiers_agree_on_scalarized_body(self, label):
+        entry, args, ref_module, scal_module = self._modules(label)
+        oracle = ExecutionEngine(ref_module, tier="interp").run(entry, *args)
+        for tier in ("interp", "decoded", "jit", "tiered"):
+            module = compile_c(SCRATCH_PROGRAMS[label][2])
+            PassManager.pipeline("scalarized").run(
+                module.get_function(entry))
+            engine = ExecutionEngine(module, tier=tier, call_threshold=2)
+            for _ in range(4):
+                assert engine.run(entry, *args) == oracle, (label, tier)
 
 
 #: fast subset for the randomized search over injection points

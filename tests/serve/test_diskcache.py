@@ -80,6 +80,41 @@ def test_different_bodies_get_different_keys(cache):
     assert cache.key_for(chain) != cache.key_for(other)
 
 
+SCRATCH_C = """
+long spin(long n) {
+    long acc[2];
+    long total = 0;
+    for (long i = 0; i < n; i++) {
+        acc[0] = i;
+        acc[1] = acc[0] * 2;
+        total = total + acc[1];
+    }
+    return total;
+}
+"""
+
+
+def test_scalarization_toggles_the_key(cache):
+    """Scalarizing rewrites the body (and bumps code_version), so a
+    cached artifact for the unscalarized function must never be served
+    for the scalarized one — the keys have to diverge."""
+    from repro.frontend import compile_c
+    from repro.transform import PassManager
+
+    plain = compile_c(SCRATCH_C).get_function("spin")
+    PassManager.pipeline("unoptimized").run(plain)
+    scalarized = compile_c(SCRATCH_C).get_function("spin")
+    PassManager.pipeline("scalarized").run(scalarized)
+    assert cache.key_for(plain) != cache.key_for(scalarized)
+    assert (DiskCodeCache.identity_hash(plain)
+            != DiskCodeCache.identity_hash(scalarized))
+
+    # a no-op scalarize run leaves the key stable: no spurious cold misses
+    before = cache.key_for(scalarized)
+    PassManager(["scalarize"]).run(scalarized)
+    assert cache.key_for(scalarized) == before
+
+
 # -- rejection paths --------------------------------------------------------------
 
 
